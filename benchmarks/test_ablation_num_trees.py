@@ -1,0 +1,47 @@
+"""Ablation: how many routing trees should the substrate maintain?
+
+DESIGN.md calls out the number of overlapping routing trees as a key design
+choice of the Innet substrate (the paper uses 3; Appendix C's Figures 16-18
+motivate it via path quality).  This ablation measures the end-to-end effect
+on join traffic: more trees buy shorter producer-to-join-node paths at the
+cost of more exploration during initiation.
+"""
+
+from benchmarks.conftest import run_once
+from repro.core import Selectivities
+from repro.experiments.harness import build_topology, build_workload, run_single
+from repro.workloads.queries import build_query2
+
+
+def _ablation(scale):
+    topology = build_topology(scale, preset="moderate", seed=0)
+    query = build_query2()
+    selectivities = Selectivities(0.5, 0.5, 0.05)
+    data_source = build_workload(topology, query, selectivities, seed=42)
+    rows = []
+    for num_trees in (1, 2, 3):
+        result = run_single(
+            query, topology, data_source, "innet-cmg", selectivities,
+            cycles=scale.cycles, seed=0,
+            strategy_kwargs={"num_trees": num_trees},
+        )
+        rows.append({
+            "num_trees": num_trees,
+            "total_traffic_kb": result.report.total_traffic / 1000.0,
+            "initiation_kb": result.report.initiation_traffic / 1000.0,
+            "computation_kb": result.report.computation_traffic / 1000.0,
+            "results": result.report.results_produced,
+        })
+    return rows
+
+
+def test_ablation_number_of_trees(benchmark, repro_scale, show):
+    rows = run_once(benchmark, _ablation, repro_scale)
+    show("Ablation -- routing trees in the Innet substrate (Query 2)", rows)
+    by_trees = {row["num_trees"]: row for row in rows}
+    # Identical join results regardless of the substrate's tree count.
+    assert len({row["results"] for row in rows}) == 1
+    # More trees never hurt the per-cycle computation traffic...
+    assert by_trees[3]["computation_kb"] <= by_trees[1]["computation_kb"] * 1.05
+    # ...but exploration over more trees costs more initiation traffic.
+    assert by_trees[3]["initiation_kb"] >= by_trees[1]["initiation_kb"] * 0.95

@@ -1,0 +1,35 @@
+"""Figure 2: Query 1 (w=3) -- total traffic and base-station load.
+
+Expected shape (paper): Naive incurs the highest traffic and maximum load;
+Base is significantly better; GHT always does poorly due to long routing
+paths; plain Innet wins when sigma_s is low but loses to Base when sigma_s is
+high; Innet-cmg / Innet-cmpg match or beat everything.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures_joins
+
+
+def test_fig02_query1_traffic(benchmark, repro_scale, sweep_ratios,
+                              sweep_join_selectivities, show):
+    rows = run_once(
+        benchmark, figures_joins.fig02_query1_traffic,
+        scale=repro_scale, ratios=sweep_ratios,
+        join_selectivities=sweep_join_selectivities,
+    )
+    show(
+        "Figure 2 -- Query 1, total traffic (KB) and base-station load (KB)",
+        rows,
+        columns=["ratio", "sigma_st", "algorithm", "total_traffic_kb",
+                 "base_traffic_kb", "total_ci95_kb"],
+    )
+    assert rows
+    # The MPO variants never lose badly to Naive anywhere in the sweep.
+    for ratio in sweep_ratios:
+        for sigma_st in sweep_join_selectivities:
+            subset = {
+                r["algorithm"]: r["total_traffic_kb"] for r in rows
+                if r["ratio"] == ratio and r["sigma_st"] == sigma_st
+            }
+            assert subset["innet-cmpg"] < subset["naive"]
+            assert subset["ght"] > subset["innet-cmpg"]

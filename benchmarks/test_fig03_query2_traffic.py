@@ -1,0 +1,35 @@
+"""Figure 3: Query 2 (perimeter join, w=1) -- total traffic and base load.
+
+Expected shape (paper): Innet provides the best performance in all cases of
+Query 2; the MPO variants match or improve on it; GHT is poor; Naive and Base
+are close to each other because few perimeter producers can be pre-filtered.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures_joins
+
+
+def test_fig03_query2_traffic(benchmark, repro_scale, sweep_ratios,
+                              sweep_join_selectivities, show):
+    rows = run_once(
+        benchmark, figures_joins.fig03_query2_traffic,
+        scale=repro_scale, ratios=sweep_ratios,
+        join_selectivities=sweep_join_selectivities,
+    )
+    show(
+        "Figure 3 -- Query 2, total traffic (KB) and base-station load (KB)",
+        rows,
+        columns=["ratio", "sigma_st", "algorithm", "total_traffic_kb",
+                 "base_traffic_kb", "total_ci95_kb"],
+    )
+    assert rows
+    # At the asymmetric ratios the in-network strategies clearly beat Naive.
+    for ratio in ("1/10:1", "1:1/10"):
+        if ratio not in sweep_ratios:
+            continue
+        for sigma_st in sweep_join_selectivities:
+            subset = {
+                r["algorithm"]: r["total_traffic_kb"] for r in rows
+                if r["ratio"] == ratio and r["sigma_st"] == sigma_st
+            }
+            assert subset["innet-cmg"] < subset["naive"]

@@ -1,0 +1,43 @@
+"""Figures 19-20: Queries 1 and 2 on 100-node mesh networks (Appendix F).
+
+Expected shape (paper): counting messages instead of bytes, the
+MPO-optimized Innet-cmg outperforms the other schemes with Base next best,
+versus DHT and Naive -- i.e. the mote-network conclusions generalize.
+"""
+
+from benchmarks.conftest import run_once
+from repro.experiments import figures_substrate
+
+
+def test_fig19_mesh_query1(benchmark, repro_scale, sweep_ratios,
+                           sweep_join_selectivities, show):
+    rows = run_once(
+        benchmark, figures_substrate.fig19_mesh_query1,
+        scale=repro_scale, ratios=sweep_ratios,
+        join_selectivities=sweep_join_selectivities,
+    )
+    show("Figure 19 -- Query 1 on a mesh network (thousands of messages)", rows)
+    for ratio in sweep_ratios:
+        for sigma_st in sweep_join_selectivities:
+            subset = {r["algorithm"]: r["total_messages_k"] for r in rows
+                      if r["ratio"] == ratio and r["sigma_st"] == sigma_st}
+            assert subset["innet-cmg"] < subset["dht"]
+            assert subset["innet-cmg"] < subset["naive"] * 1.10
+
+
+def test_fig20_mesh_query2(benchmark, repro_scale, sweep_ratios,
+                           sweep_join_selectivities, show):
+    rows = run_once(
+        benchmark, figures_substrate.fig20_mesh_query2,
+        scale=repro_scale, ratios=sweep_ratios,
+        join_selectivities=sweep_join_selectivities,
+    )
+    show("Figure 20 -- Query 2 on a mesh network (thousands of messages)", rows)
+    for ratio in ("1/10:1", "1:1/10"):
+        if ratio not in sweep_ratios:
+            continue
+        for sigma_st in sweep_join_selectivities:
+            subset = {r["algorithm"]: r["total_messages_k"] for r in rows
+                      if r["ratio"] == ratio and r["sigma_st"] == sigma_st}
+            assert subset["innet-cmg"] < subset["naive"]
+            assert subset["innet-cmg"] < subset["dht"]

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Perimeter event detection: the paper's "Query P" scenario with drift.
+
+Temperature sensors are mounted on two opposite walls of a long hall (rows 0
+and 3 of a 4x4 logical grid).  An event should be reported whenever a pair of
+sensors in corresponding positions on opposite walls disagree -- the paper's
+Query 2.  Conditions change over the day: in the morning the north wall
+produces readings far more often than the south wall, in the afternoon the
+situation reverses.
+
+The example compares three deployments of the same query:
+
+* a statically optimized in-network join that assumes the morning regime,
+* a statically optimized join that assumes the afternoon regime,
+* the adaptive "Innet learn" strategy that starts with the morning estimates
+  and re-optimizes as the learned selectivities drift (Section 6).
+
+Run it with::
+
+    python examples/perimeter_event_detection.py
+"""
+
+from repro.core import Selectivities
+from repro.core.adaptive import AdaptivePolicy
+from repro.experiments import format_table
+from repro.experiments.harness import build_topology, build_workload, make_strategy, SCALES
+from repro.joins import JoinExecutor
+from repro.workloads.queries import build_query2
+
+MORNING = Selectivities(sigma_s=1.0, sigma_t=0.1, sigma_st=0.10)
+AFTERNOON = Selectivities(sigma_s=0.1, sigma_t=1.0, sigma_st=0.10)
+CYCLES = 240
+
+
+def main() -> None:
+    scale = SCALES["default"]
+    topology = build_topology(scale, preset="moderate", seed=21)
+    query = build_query2()
+
+    # The workload follows the morning regime for the first half of the run
+    # and switches to the afternoon regime for the second half.
+    data_source = build_workload(
+        topology, query, MORNING, seed=21,
+        switch_cycle=CYCLES // 2, switched_to=AFTERNOON,
+    )
+
+    policy = AdaptivePolicy(check_interval=10, min_cycles=10)
+    settings = [
+        ("assume morning", "innet-cmpg", MORNING, None),
+        ("assume afternoon", "innet-cmpg", AFTERNOON, None),
+        ("adaptive (learn)", "innet-learn", MORNING, {"adaptive_policy": policy}),
+    ]
+
+    rows = []
+    for label, algorithm, assumed, kwargs in settings:
+        strategy = make_strategy(algorithm, **(kwargs or {}))
+        executor = JoinExecutor(query, topology.copy(), data_source, strategy, assumed)
+        report = executor.run(CYCLES)
+        rows.append({
+            "setting": label,
+            "total_traffic_kb": report.total_traffic / 1000.0,
+            "base_station_kb": report.base_traffic / 1000.0,
+            "events": report.results_produced,
+            "reoptimizations": report.reoptimizations,
+        })
+
+    print(format_table(
+        rows,
+        title=f"Query P on a {topology.num_nodes}-node hall, {CYCLES} cycles "
+              f"(regime switches at cycle {CYCLES // 2})",
+    ))
+    print("\nExpected shape (Figure 12b): either static assumption is wrong for"
+          "\nhalf of the run; the adaptive deployment re-optimizes after the"
+          "\nswitch and lands below the worse static configuration.")
+
+
+if __name__ == "__main__":
+    main()

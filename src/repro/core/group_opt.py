@@ -1,0 +1,268 @@
+"""Multi-join-pair optimization: GROUPOPT (Section 5.2, Algorithm 1).
+
+For join predicates that are commutative and transitive (e.g. equijoins),
+producers that join with each other form complete bipartite subgraphs --
+*groups*.  Each group independently decides whether to compute a series of
+pairwise in-network joins or a single grouped join at the base station:
+
+1. every producer ``p`` computes its cost difference ``Delta C_p`` between
+   the fully in-network computation and joining at the base,
+2. sends it to the group coordinator ``Gc`` (the member with the smallest id),
+3. ``Gc`` sums the differences and broadcasts the group decision,
+4. coordinator/decision consistency is maintained with (coordinator id,
+   sequence number) ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.cost_model import Selectivities, group_cost_difference
+from repro.core.placement import PlacementDecision
+from repro.network.message import MessageKind, MessageSizes
+from repro.network.simulator import NetworkSimulator
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class Group:
+    """One complete-bipartite group of joining producers."""
+
+    group_id: int
+    source_members: Set[int] = field(default_factory=set)
+    target_members: Set[int] = field(default_factory=set)
+    pairs: List[Pair] = field(default_factory=list)
+
+    @property
+    def members(self) -> Set[int]:
+        return self.source_members | self.target_members
+
+    @property
+    def coordinator(self) -> int:
+        """The group coordinator: the member with the smallest node id."""
+        return min(self.members)
+
+    def __len__(self) -> int:
+        return len(self.members)
+
+
+@dataclass
+class GroupDecision:
+    """The coordinator's decision for one group."""
+
+    group: Group
+    use_innet: bool
+    total_delta: float
+    per_producer_delta: Dict[int, float] = field(default_factory=dict)
+    sequence: int = 0
+
+    @property
+    def join_at_base(self) -> bool:
+        return not self.use_innet
+
+
+def build_groups(pairs: Sequence[Pair]) -> List[Group]:
+    """Partition joining pairs into groups (connected bipartite components)."""
+    parent: Dict[Tuple[str, int], Tuple[str, int]] = {}
+
+    def find(item):
+        root = item
+        while parent[root] != root:
+            root = parent[root]
+        while parent[item] != root:
+            parent[item], item = root, parent[item]
+        return root
+
+    def union(a, b):
+        parent.setdefault(a, a)
+        parent.setdefault(b, b)
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    for source, target in pairs:
+        union(("s", source), ("t", target))
+
+    components: Dict[Tuple[str, int], Group] = {}
+    groups: List[Group] = []
+    for source, target in pairs:
+        root = find(("s", source))
+        group = components.get(root)
+        if group is None:
+            group = Group(group_id=len(groups))
+            components[root] = group
+            groups.append(group)
+        group.source_members.add(source)
+        group.target_members.add(target)
+        group.pairs.append((source, target))
+    return groups
+
+
+class GroupOptimizer:
+    """Runs GROUPOPT over a set of pairwise placement decisions."""
+
+    def __init__(
+        self,
+        hops_to_base: Callable[[int], int],
+        route_between: Callable[[int, int], List[int]],
+        sizes: Optional[MessageSizes] = None,
+    ) -> None:
+        self.hops_to_base = hops_to_base
+        self.route_between = route_between
+        self.sizes = sizes or MessageSizes()
+        self._sequence = 0
+
+    # ------------------------------------------------------------------
+    def producer_delta(
+        self,
+        producer: int,
+        is_source: bool,
+        group: Group,
+        placements: Mapping[Pair, PlacementDecision],
+        selectivities: Selectivities,
+        window_size: int,
+    ) -> float:
+        """Compute ``Delta C_p`` for one producer of a group."""
+        join_node_distances: Dict[int, float] = {}
+        pairs_per_join_node: Dict[int, int] = {}
+        join_node_base_distances: Dict[int, float] = {}
+        for pair in group.pairs:
+            source, target = pair
+            if (is_source and source != producer) or (not is_source and target != producer):
+                continue
+            decision = placements.get(pair)
+            if decision is None:
+                continue
+            join_node = decision.join_node
+            distance = decision.d_sj if is_source else decision.d_tj
+            # A producer reaches each join node once; if several of its pairs
+            # share a join node, data is sent once and joined N_pj times.
+            join_node_distances.setdefault(join_node, float(distance))
+            pairs_per_join_node[join_node] = pairs_per_join_node.get(join_node, 0) + 1
+            join_node_base_distances.setdefault(join_node, float(decision.d_jr))
+        sigma_p = selectivities.sigma_for(is_source)
+        return group_cost_difference(
+            sigma_p=sigma_p,
+            sigma_st=selectivities.sigma_st,
+            w=window_size,
+            join_node_distances=join_node_distances,
+            pairs_per_join_node=pairs_per_join_node,
+            join_node_base_distances=join_node_base_distances,
+            d_pr=float(self.hops_to_base(producer)),
+        )
+
+    def decide_group(
+        self,
+        group: Group,
+        placements: Mapping[Pair, PlacementDecision],
+        selectivities: Selectivities,
+        window_size: int,
+        simulator: Optional[NetworkSimulator] = None,
+        report_from: Optional[Set[int]] = None,
+        previous_decision: Optional[bool] = None,
+    ) -> GroupDecision:
+        """Run Algorithm 1 for one group, optionally charging its traffic.
+
+        ``report_from`` limits the producers that send an (updated) cost
+        difference to the coordinator -- Algorithm 1 only sends ``Delta C_p``
+        when it has changed.  ``previous_decision`` suppresses the decision
+        broadcast when the coordinator's choice did not change.
+        """
+        coordinator = group.coordinator
+        per_producer: Dict[int, float] = {}
+        for producer in sorted(group.source_members):
+            per_producer[producer] = self.producer_delta(
+                producer, True, group, placements, selectivities, window_size
+            )
+        for producer in sorted(group.target_members):
+            delta = self.producer_delta(
+                producer, False, group, placements, selectivities, window_size
+            )
+            # A node may appear on both sides of an m:n self-join; accumulate.
+            per_producer[producer] = per_producer.get(producer, 0.0) + delta
+
+        if simulator is not None:
+            report_size = self.sizes.control(num_fields=2)
+            reporters = per_producer if report_from is None else (
+                set(per_producer) & set(report_from)
+            )
+            for producer in sorted(reporters):
+                if producer == coordinator:
+                    continue
+                simulator.transfer(
+                    self.route_between(producer, coordinator),
+                    report_size,
+                    MessageKind.COST_REPORT,
+                )
+
+        total_delta = sum(per_producer.values())
+        use_innet = total_delta < 0.0
+        self._sequence += 1
+        decision = GroupDecision(
+            group=group,
+            use_innet=use_innet,
+            total_delta=total_delta,
+            per_producer_delta=per_producer,
+            sequence=self._sequence,
+        )
+
+        if simulator is not None and (
+            previous_decision is None or previous_decision != use_innet
+        ):
+            decision_size = self.sizes.control(num_fields=3)
+            for producer in per_producer:
+                if producer == coordinator:
+                    continue
+                simulator.transfer(
+                    self.route_between(coordinator, producer),
+                    decision_size,
+                    MessageKind.DECISION,
+                )
+        return decision
+
+    def apply_decision(
+        self,
+        decision: GroupDecision,
+        placements: Dict[Pair, PlacementDecision],
+        base_id: int,
+        base_path_of: Callable[[int], List[int]],
+    ) -> Dict[Pair, PlacementDecision]:
+        """Rewrite a group's placements to join at the base if so decided."""
+        if decision.use_innet:
+            return placements
+        for pair in decision.group.pairs:
+            current = placements.get(pair)
+            if current is None:
+                continue
+            source, target = pair
+            placements[pair] = PlacementDecision(
+                source=source,
+                target=target,
+                join_node=base_id,
+                at_base=True,
+                expected_cost=current.base_cost,
+                base_cost=current.base_cost,
+                source_to_join=list(base_path_of(source)),
+                target_to_join=list(base_path_of(target)),
+                join_to_base=[base_id],
+                candidate_path=current.candidate_path,
+            )
+        return placements
+
+
+def reconcile_decisions(current: GroupDecision, incoming: GroupDecision) -> GroupDecision:
+    """Coordinator-consistency rule from Algorithm 1 (lines 7-8).
+
+    A producer accepts an incoming decision if it comes from a coordinator
+    with a smaller id, or from the same coordinator with a newer sequence
+    number.
+    """
+    current_coord = current.group.coordinator
+    incoming_coord = incoming.group.coordinator
+    if incoming_coord < current_coord:
+        return incoming
+    if incoming_coord == current_coord and incoming.sequence > current.sequence:
+        return incoming
+    return current

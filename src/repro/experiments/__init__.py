@@ -1,0 +1,41 @@
+"""Experiment harness reproducing every figure of the paper's evaluation.
+
+* :mod:`repro.experiments.harness` -- configuration objects, the strategy
+  factory, workload construction, multi-run averaging with confidence
+  intervals, and scale presets (``smoke`` / ``default`` / ``paper``) so the
+  same experiment can run as a quick benchmark or at the paper's full scale.
+* :mod:`repro.experiments.figures_joins` -- Figures 2-9 (join algorithm
+  comparison, cost-model validation, centralized-vs-distributed, MPO).
+* :mod:`repro.experiments.figures_adaptive` -- Figures 10-14 (learning,
+  skew/drift, Intel dataset, node failure).
+* :mod:`repro.experiments.figures_substrate` -- Appendix C/F/G figures
+  (16-20: path quality, mesh networks, scale-up) and Table 3 validation.
+* :mod:`repro.experiments.report` -- plain-text tables mirroring the figures.
+"""
+
+from repro.experiments.harness import (
+    AggregateResult,
+    ExperimentScale,
+    RunResult,
+    available_algorithms,
+    build_workload,
+    make_strategy,
+    run_comparison,
+    run_single,
+    scale_from_env,
+)
+from repro.experiments.report import format_table, results_to_rows
+
+__all__ = [
+    "ExperimentScale",
+    "scale_from_env",
+    "make_strategy",
+    "available_algorithms",
+    "build_workload",
+    "run_single",
+    "run_comparison",
+    "RunResult",
+    "AggregateResult",
+    "format_table",
+    "results_to_rows",
+]

@@ -1,0 +1,108 @@
+"""Command-line entry point for regenerating individual figures.
+
+Usage::
+
+    python -m repro.experiments --list
+    python -m repro.experiments --figure fig02 --scale smoke
+    python -m repro.experiments --figure fig13 fig14 --scale default
+
+Each figure prints the same table its benchmark prints, without the
+pytest-benchmark machinery, which is convenient for exploring parameters or
+plotting the rows with external tools.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Callable, Dict, List, Sequence
+
+from repro.experiments import figures_adaptive, figures_joins, figures_substrate
+from repro.experiments.harness import SCALES, ExperimentScale
+from repro.experiments.report import format_table
+
+#: Registry mapping a short figure id to (description, callable).
+FIGURES: Dict[str, tuple] = {
+    "fig02": ("Query 1 traffic and base load", figures_joins.fig02_query1_traffic),
+    "fig03": ("Query 2 traffic and base load", figures_joins.fig03_query2_traffic),
+    "fig04": ("Cost-model validation on Query 0", figures_joins.fig04_costmodel_query0),
+    "fig05": ("Load distribution of top-15 nodes", figures_joins.fig05_load_distribution),
+    "fig06": ("Centralized vs distributed initiation",
+              figures_joins.fig06_centralized_vs_distributed),
+    "fig07": ("Distributed placement vs optimum", figures_joins.fig07_optimal_vs_distributed),
+    "fig08": ("MPO cost-model validation", figures_joins.fig08_mpo_costmodel),
+    "fig09a": ("Method vs duration", figures_joins.fig09a_method_vs_duration),
+    "fig09b": ("MPO variants vs join selectivity",
+               figures_joins.fig09b_mpo_vs_join_selectivity),
+    "fig10": ("Learning gain under wrong estimates", figures_adaptive.fig10_learning_gain),
+    "fig11": ("Learning vs run duration", figures_adaptive.fig11_learning_duration),
+    "fig12a": ("Spatial skew (Sel1/Sel2)", figures_adaptive.fig12a_spatial_skew),
+    "fig12b": ("Temporal drift", figures_adaptive.fig12b_temporal_drift),
+    "fig13": ("Intel dataset with learning", figures_adaptive.fig13_intel_learning),
+    "fig14": ("Join-node failure", figures_adaptive.fig14_failure),
+    "fig16": ("Mote path quality", figures_substrate.fig16_path_quality_mote),
+    "fig17": ("Mesh path quality", figures_substrate.fig17_path_quality_mesh),
+    "fig18": ("Mesh scale-up", figures_substrate.fig18_mesh_scaleup),
+    "fig19": ("Mesh Query 1", figures_substrate.fig19_mesh_query1),
+    "fig20": ("Mesh Query 2", figures_substrate.fig20_mesh_query2),
+    "table3": ("Cost-formula validation", figures_substrate.table3_cost_validation),
+    "appg": ("Leaf mobility", figures_substrate.appg_mobility),
+}
+
+
+def available_figures() -> List[str]:
+    return sorted(FIGURES)
+
+
+def run_figure(name: str, scale: ExperimentScale) -> List[dict]:
+    """Run one figure's experiment and return its rows."""
+    try:
+        _, function = FIGURES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown figure {name!r}; expected one of {available_figures()}"
+        ) from None
+    return function(scale=scale)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments",
+        description="Regenerate figures of 'Dynamic Join Optimization in "
+                    "Multi-Hop Wireless Sensor Networks'.",
+    )
+    parser.add_argument("--figure", "-f", nargs="+", default=[],
+                        help="figure id(s) to regenerate, e.g. fig02 fig13")
+    parser.add_argument("--scale", "-s", choices=sorted(SCALES), default="default",
+                        help="experiment scale preset (default: %(default)s)")
+    parser.add_argument("--list", "-l", action="store_true",
+                        help="list available figure ids and exit")
+    return parser
+
+
+def main(argv: Sequence[str] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.list or not args.figure:
+        rows = [
+            {"figure": name, "description": FIGURES[name][0]}
+            for name in available_figures()
+        ]
+        print(format_table(rows, title="Available figures"))
+        return 0
+    scale = SCALES[args.scale]
+    exit_code = 0
+    for name in args.figure:
+        try:
+            rows = run_figure(name, scale)
+        except KeyError as error:
+            print(error, file=sys.stderr)
+            exit_code = 2
+            continue
+        print(format_table(rows, title=f"{name} -- {FIGURES[name][0]} ({scale.name} scale)"))
+        print()
+    return exit_code
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

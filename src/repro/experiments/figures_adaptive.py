@@ -1,0 +1,353 @@
+"""Figures 10-14: adaptive re-optimization, real-life data and node failure.
+
+These experiments exercise Section 6 (learning selectivities and
+re-optimizing) and Section 7 (join-node failure).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.adaptive import AdaptivePolicy
+from repro.core.cost_model import Selectivities
+from repro.experiments.harness import (
+    ExperimentScale,
+    build_topology,
+    build_workload,
+    run_single,
+    scale_from_env,
+)
+from repro.network.failures import FailureInjector
+from repro.query.analysis import analyze_query
+from repro.workloads.datasource import SyntheticDataSource
+from repro.workloads.intel import intel_query3_workload, measure_dynamic_join_selectivity
+from repro.workloads.queries import build_query0, build_query1, build_query2
+from repro.workloads.selectivity import RATIO_LADDER, SEL1, SEL2
+
+
+def _selectivities(label: str, sigma_st: float) -> Selectivities:
+    for candidate, (sigma_s, sigma_t) in RATIO_LADDER:
+        if candidate == label:
+            return Selectivities(sigma_s, sigma_t, sigma_st)
+    raise KeyError(label)
+
+
+_LEARNING_POLICY = AdaptivePolicy(check_interval=10, min_cycles=10)
+
+
+# ---------------------------------------------------------------------------
+# Figures 10 and 11: learning under wrong initial estimates
+# ---------------------------------------------------------------------------
+
+def _learning_gain_rows(
+    query_builder,
+    query_name: str,
+    sigma_st: float,
+    cycles: int,
+    scale: ExperimentScale,
+    true_ratios: Sequence[str],
+    estimated_ratios: Sequence[str],
+) -> List[Dict[str, object]]:
+    topology = build_topology(scale, preset="moderate", seed=0)
+    rows: List[Dict[str, object]] = []
+    for true_label in true_ratios:
+        actual = _selectivities(true_label, sigma_st)
+        query = query_builder()
+        data_source = build_workload(topology, query, actual, seed=500)
+        for estimate_label in estimated_ratios:
+            assumed = _selectivities(estimate_label, sigma_st)
+            without = run_single(
+                query, topology, data_source, "innet-cmpg", assumed,
+                cycles=cycles, seed=0,
+            )
+            with_learning = run_single(
+                query, topology, data_source, "innet-learn", assumed,
+                cycles=cycles, seed=0,
+                strategy_kwargs={"adaptive_policy": _LEARNING_POLICY},
+            )
+            gain = without.report.total_traffic - with_learning.report.total_traffic
+            rows.append({
+                "query": query_name,
+                "true_ratio": true_label,
+                "estimated_ratio": estimate_label,
+                "correct_estimate": estimate_label == true_label,
+                "no_learning_kb": without.report.total_traffic / 1000.0,
+                "learning_kb": with_learning.report.total_traffic / 1000.0,
+                "gain_kb": gain / 1000.0,
+                "reoptimizations": with_learning.report.reoptimizations,
+                "cycles": cycles,
+            })
+    return rows
+
+
+def fig10_learning_gain(scale: Optional[ExperimentScale] = None,
+                        queries: Optional[Sequence[str]] = None,
+                        true_ratios: Optional[Sequence[str]] = None,
+                        estimated_ratios: Optional[Sequence[str]] = None,
+                        ) -> List[Dict[str, object]]:
+    """Figure 10: traffic with and without learning when initial estimates are
+    wrong (Queries 0-2, 200 sampling cycles in the paper)."""
+    scale = scale or scale_from_env()
+    queries = list(queries or ["query0", "query1", "query2"])
+    default_ratios = ["1/10:1", "1/2:1/2", "1:1/10"]
+    true_ratios = list(true_ratios or default_ratios)
+    estimated_ratios = list(estimated_ratios or default_ratios)
+    builders = {
+        "query0": (lambda: build_query0(num_nodes=scale.num_nodes, seed=1), 0.20),
+        "query1": (build_query1, 0.05),
+        "query2": (build_query2, 0.10),
+    }
+    rows: List[Dict[str, object]] = []
+    for name in queries:
+        builder, sigma_st = builders[name]
+        rows.extend(_learning_gain_rows(
+            builder, name, sigma_st, scale.long_cycles, scale,
+            true_ratios, estimated_ratios,
+        ))
+    return rows
+
+
+def fig11_learning_duration(scale: Optional[ExperimentScale] = None,
+                            durations: Optional[Sequence[int]] = None,
+                            ) -> List[Dict[str, object]]:
+    """Figure 11: the longer the run, the closer wrong-estimate + learning gets
+    to correct-estimate performance (Query 0, sigma_st = 20 %)."""
+    scale = scale or scale_from_env()
+    if durations is None:
+        durations = [scale.long_cycles, 2 * scale.long_cycles, 4 * scale.long_cycles]
+    rows: List[Dict[str, object]] = []
+    for cycles in durations:
+        rows.extend(_learning_gain_rows(
+            lambda: build_query0(num_nodes=scale.num_nodes, seed=1),
+            "query0", 0.20, cycles, scale,
+            true_ratios=["1/10:1", "1:1/10"],
+            estimated_ratios=["1/10:1", "1:1/10"],
+        ))
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 12: spatial skew and temporal drift
+# ---------------------------------------------------------------------------
+
+def _split_eligible(topology, query) -> Tuple[List[int], List[int], List[int], List[int]]:
+    analysis = analyze_query(query)
+    eligible_s = [n for n in topology.node_ids
+                  if analysis.node_eligible("S", topology.nodes[n].static_attributes)]
+    eligible_t = [n for n in topology.node_ids
+                  if analysis.node_eligible("T", topology.nodes[n].static_attributes)]
+    half_s = len(eligible_s) // 2
+    half_t = len(eligible_t) // 2
+    return (eligible_s[:half_s], eligible_s[half_s:],
+            eligible_t[:half_t], eligible_t[half_t:])
+
+
+def _skewed_source(topology, query, seed: int) -> Tuple[SyntheticDataSource, Dict[int, Selectivities]]:
+    """Half the producers follow Sel1, the other half Sel2 (Figure 12a)."""
+    import math
+
+    sel1_s, sel2_s, sel1_t, sel2_t = _split_eligible(topology, query)
+    regimes: Dict[int, Selectivities] = {}
+    send_map: Dict[int, float] = {}
+    u_map: Dict[int, int] = {}
+    for nodes, regime, is_source in (
+        (sel1_s, SEL1, True), (sel2_s, SEL2, True),
+        (sel1_t, SEL1, False), (sel2_t, SEL2, False),
+    ):
+        for node in nodes:
+            regimes[node] = regime
+            send_map[node] = regime.sigma_s if is_source else regime.sigma_t
+            u_map[node] = max(1, math.ceil(1.0 / regime.sigma_st))
+    source = SyntheticDataSource(
+        sigma_st=SEL2.sigma_st, send_probability=0.0, seed=seed,
+        per_node_send_probability=send_map, per_node_u_range=u_map,
+    )
+    return source, regimes
+
+
+def fig12a_spatial_skew(scale: Optional[ExperimentScale] = None,
+                        queries: Optional[Sequence[str]] = None,
+                        ) -> List[Dict[str, object]]:
+    """Figure 12a: per-node regimes (Sel1/Sel2); learning approaches the
+    full-knowledge oracle."""
+    scale = scale or scale_from_env()
+    queries = list(queries or ["query1", "query2"])
+    builders = {"query1": build_query1, "query2": build_query2}
+    rows: List[Dict[str, object]] = []
+    topology = build_topology(scale, preset="moderate", seed=0)
+    for name in queries:
+        query = builders[name]()
+        data_source, regimes = _skewed_source(topology, query, seed=600)
+
+        def full_knowledge(pair, _regimes=regimes):
+            source_regime = _regimes.get(pair[0], SEL1)
+            target_regime = _regimes.get(pair[1], SEL1)
+            return Selectivities(
+                sigma_s=source_regime.sigma_s,
+                sigma_t=target_regime.sigma_t,
+                sigma_st=min(source_regime.sigma_st, target_regime.sigma_st),
+            )
+
+        settings = [
+            ("Sel1", "innet-cmpg", SEL1, None),
+            ("Sel2", "innet-cmpg", SEL2, None),
+            ("Full knowledge", "innet-cmpg", full_knowledge, None),
+            ("Sel1 learn", "innet-learn", SEL1, _LEARNING_POLICY),
+            ("Sel2 learn", "innet-learn", SEL2, _LEARNING_POLICY),
+        ]
+        for label, algorithm, assumed, policy in settings:
+            kwargs = {"adaptive_policy": policy} if policy else None
+            result = run_single(
+                query, topology, data_source, algorithm, assumed,
+                cycles=scale.long_cycles, seed=0, strategy_kwargs=kwargs,
+            )
+            rows.append({
+                "query": name,
+                "setting": label,
+                "total_traffic_kb": result.report.total_traffic / 1000.0,
+                "reoptimizations": result.report.reoptimizations,
+            })
+    return rows
+
+
+def fig12b_temporal_drift(scale: Optional[ExperimentScale] = None,
+                          queries: Optional[Sequence[str]] = None,
+                          ) -> List[Dict[str, object]]:
+    """Figure 12b: the workload follows Sel1 for the first half of the run and
+    Sel2 for the second half; learning recovers most of the oracle's gain."""
+    scale = scale or scale_from_env()
+    queries = list(queries or ["query1", "query2"])
+    builders = {"query1": build_query1, "query2": build_query2}
+    cycles = scale.long_cycles
+    half = cycles // 2
+    rows: List[Dict[str, object]] = []
+    topology = build_topology(scale, preset="moderate", seed=0)
+    for name in queries:
+        query = builders[name]()
+        data_source = build_workload(
+            topology, query, SEL1, seed=700,
+            switch_cycle=half, switched_to=SEL2,
+        )
+        settings = [
+            ("Sel1", "innet-cmpg", SEL1, None),
+            ("Sel2", "innet-cmpg", SEL2, None),
+            ("Sel1 learn", "innet-learn", SEL1, _LEARNING_POLICY),
+            ("Sel2 learn", "innet-learn", SEL2, _LEARNING_POLICY),
+        ]
+        for label, algorithm, assumed, policy in settings:
+            kwargs = {"adaptive_policy": policy} if policy else None
+            result = run_single(
+                query, topology, data_source, algorithm, assumed,
+                cycles=cycles, seed=0, strategy_kwargs=kwargs,
+            )
+            rows.append({
+                "query": name,
+                "setting": label,
+                "total_traffic_kb": result.report.total_traffic / 1000.0,
+            })
+        # The oracle anticipates the change: it runs the first half optimized
+        # for Sel1 and the second half re-initiated for Sel2.
+        first = run_single(query, topology, data_source, "innet-cmpg", SEL1,
+                           cycles=half, seed=0)
+        second_source = build_workload(topology, query, SEL2, seed=701)
+        second = run_single(query, topology, second_source, "innet-cmpg", SEL2,
+                            cycles=cycles - half, seed=0)
+        rows.append({
+            "query": name,
+            "setting": "Full knowledge",
+            "total_traffic_kb": (first.report.total_traffic
+                                 + second.report.total_traffic) / 1000.0,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 13: learning on the Intel-lab workload (Query 3)
+# ---------------------------------------------------------------------------
+
+def fig13_intel_learning(scale: Optional[ExperimentScale] = None,
+                         cycles: Optional[int] = None) -> List[Dict[str, object]]:
+    """Figure 13: Query 3 on the Intel-like dataset.
+
+    ``In-net learn`` starts optimized for sigma_s = sigma_t = sigma_st = 100 %
+    (which puts every join node at the base station) and migrates join nodes
+    in-network as estimates become available, approaching the full-knowledge
+    Innet run while keeping a Naive/Base-like load profile.
+    """
+    scale = scale or scale_from_env()
+    cycles = cycles or scale.long_cycles
+    topology, data_source, query = intel_query3_workload(seed=2)
+    measured_sigma = measure_dynamic_join_selectivity(
+        data_source, topology, cycles=min(cycles, 50)
+    )
+    full_knowledge = Selectivities(1.0, 1.0, max(0.01, measured_sigma))
+    pessimistic = Selectivities(1.0, 1.0, 1.0)
+    settings = [
+        ("yang07", "yang07", full_knowledge, None),
+        ("ght_gpsr", "ght", full_knowledge, None),
+        ("naive_base", "base", full_knowledge, None),
+        ("innet_full_knowledge", "innet-cmg", full_knowledge, None),
+        ("innet_learn", "innet-learn", pessimistic, _LEARNING_POLICY),
+    ]
+    rows: List[Dict[str, object]] = []
+    for label, algorithm, assumed, policy in settings:
+        kwargs = {"adaptive_policy": policy} if policy else None
+        result = run_single(
+            query, topology, data_source, algorithm, assumed,
+            cycles=cycles, seed=0, strategy_kwargs=kwargs,
+        )
+        report = result.report
+        rows.append({
+            "setting": label,
+            "total_traffic_kb": report.total_traffic / 1000.0,
+            "base_traffic_kb": report.base_traffic / 1000.0,
+            "max_node_traffic_kb": report.max_node_load / 1000.0,
+            "results": report.results_produced,
+            "reoptimizations": report.reoptimizations,
+        })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 14: join-node failure
+# ---------------------------------------------------------------------------
+
+def fig14_failure(scale: Optional[ExperimentScale] = None,
+                  join_selectivities: Sequence[float] = (0.10, 0.20),
+                  failure_fraction: float = 0.5) -> List[Dict[str, object]]:
+    """Figure 14: result delay and total traffic with and without a join-node
+    failure halfway through the run (single join pair)."""
+    from repro.joins import InnetJoin, InnetVariant, JoinExecutor
+
+    scale = scale or scale_from_env()
+    cycles = max(scale.cycles, 20)
+    topology = build_topology(scale, preset="moderate", seed=0)
+    ids = sorted(n for n in topology.node_ids if n != topology.base_id)
+    query_endpoints = (ids[2], ids[-3])
+    rows: List[Dict[str, object]] = []
+    for sigma_st in join_selectivities:
+        selectivities = Selectivities(1.0, 1.0, sigma_st)
+        query = build_query0(source_id=query_endpoints[0], target_id=query_endpoints[1])
+        data_source = build_workload(topology, query, selectivities, seed=800)
+
+        # Discover where the join node lands so we can fail exactly that node.
+        scout = InnetJoin(InnetVariant.basic())
+        JoinExecutor(query, topology.copy(), data_source, scout, selectivities).initiate()
+        join_node = scout.plan.decision_for(query_endpoints).join_node
+
+        baseline = run_single(query, topology, data_source, "innet", selectivities,
+                              cycles=cycles, seed=0)
+        injector = FailureInjector()
+        if join_node != topology.base_id:
+            injector.schedule_fraction_of_run(join_node, cycles, failure_fraction)
+        failed = run_single(query, topology, data_source, "innet", selectivities,
+                            cycles=cycles, seed=0, failure_injector=injector)
+        for label, result in (("no_failure", baseline), ("with_failure", failed)):
+            rows.append({
+                "sigma_st": sigma_st,
+                "setting": label,
+                "delay_cycles": result.report.average_result_delay_cycles,
+                "total_traffic_kb": result.report.total_traffic / 1000.0,
+                "results": result.report.results_produced,
+            })
+    return rows

@@ -1,0 +1,378 @@
+"""Figures 2-9: join-algorithm comparison, cost-model validation and MPO.
+
+Each function reproduces one figure of Section 4 / 5 and returns a list of
+row dictionaries (one per bar or series point in the original figure), ready
+to be printed with :func:`repro.experiments.report.format_table`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.centralized import (
+    centralized_initiation,
+    distributed_initiation_latency,
+    optimal_pair_placements,
+)
+from repro.core.cost_model import Selectivities
+from repro.core.placement import place_join_node
+from repro.experiments.harness import (
+    FIGURE2_ALGORITHMS,
+    ExperimentScale,
+    build_topology,
+    build_workload,
+    run_comparison,
+    run_single,
+    scale_from_env,
+)
+from repro.network.message import MessageKind, MessageSizes
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import all_standard_topologies
+from repro.routing.multitree import MultiTreeSubstrate, PairPath
+from repro.workloads.queries import build_query0, build_query1, build_query2
+from repro.workloads.selectivity import JOIN_SELECTIVITIES, RATIO_LADDER
+
+
+def _default_ratios(ratios: Optional[Sequence[str]]) -> List[str]:
+    if ratios is None:
+        return [label for label, _ in RATIO_LADDER]
+    return list(ratios)
+
+
+def _selectivities(label: str, sigma_st: float) -> Selectivities:
+    for candidate, (sigma_s, sigma_t) in RATIO_LADDER:
+        if candidate == label:
+            return Selectivities(sigma_s, sigma_t, sigma_st)
+    raise KeyError(label)
+
+
+# ---------------------------------------------------------------------------
+# Figures 2 and 3: total traffic and base-station load for Queries 1 and 2
+# ---------------------------------------------------------------------------
+
+def _query_traffic_figure(
+    query_builder,
+    scale: Optional[ExperimentScale],
+    ratios: Optional[Sequence[str]],
+    join_selectivities: Optional[Sequence[float]],
+    algorithms: Sequence[str] = tuple(FIGURE2_ALGORITHMS),
+    accounting=None,
+) -> List[Dict[str, object]]:
+    from repro.network.traffic import TrafficAccounting
+
+    scale = scale or scale_from_env()
+    ratios = _default_ratios(ratios)
+    sweep = list(join_selectivities or JOIN_SELECTIVITIES)
+    accounting = accounting or TrafficAccounting.BYTES
+    rows: List[Dict[str, object]] = []
+    for ratio in ratios:
+        for sigma_st in sweep:
+            selectivities = _selectivities(ratio, sigma_st)
+            results = run_comparison(
+                query_builder,
+                algorithms=algorithms,
+                data_selectivities=selectivities,
+                scale=scale,
+                accounting=accounting,
+            )
+            for algorithm, aggregate in results.items():
+                rows.append({
+                    "ratio": ratio,
+                    "sigma_st": sigma_st,
+                    "algorithm": algorithm,
+                    "total_traffic_kb": aggregate.mean("total_traffic") / 1000.0,
+                    "base_traffic_kb": aggregate.mean("base_traffic") / 1000.0,
+                    "max_node_load_kb": aggregate.mean("max_node_load") / 1000.0,
+                    "total_ci95_kb": aggregate.confidence_95("total_traffic") / 1000.0,
+                })
+    return rows
+
+
+def fig02_query1_traffic(scale: Optional[ExperimentScale] = None,
+                         ratios: Optional[Sequence[str]] = None,
+                         join_selectivities: Optional[Sequence[float]] = None,
+                         ) -> List[Dict[str, object]]:
+    """Figure 2: Query 1 (w=3), total traffic and load at the base station."""
+    return _query_traffic_figure(build_query1, scale, ratios, join_selectivities)
+
+
+def fig03_query2_traffic(scale: Optional[ExperimentScale] = None,
+                         ratios: Optional[Sequence[str]] = None,
+                         join_selectivities: Optional[Sequence[float]] = None,
+                         ) -> List[Dict[str, object]]:
+    """Figure 3: Query 2 (w=1), total traffic and load at the base station."""
+    return _query_traffic_figure(build_query2, scale, ratios, join_selectivities)
+
+
+# ---------------------------------------------------------------------------
+# Figure 4 / Figure 8: cost-model validation (optimize for wrong selectivities)
+# ---------------------------------------------------------------------------
+
+def _estimate_sensitivity(
+    query_builder,
+    algorithm: str,
+    sigma_st: float,
+    scale: Optional[ExperimentScale],
+    true_ratios: Optional[Sequence[str]],
+    estimated_ratios: Optional[Sequence[str]],
+    query_kwargs: Optional[dict] = None,
+) -> List[Dict[str, object]]:
+    scale = scale or scale_from_env()
+    true_ratios = _default_ratios(true_ratios)
+    estimated_ratios = _default_ratios(estimated_ratios)
+    topology = build_topology(scale, preset="moderate", seed=0)
+    rows: List[Dict[str, object]] = []
+    for true_label in true_ratios:
+        actual = _selectivities(true_label, sigma_st)
+        query = query_builder(**(query_kwargs or {}))
+        per_estimate: Dict[str, float] = {}
+        for estimate_label in estimated_ratios:
+            assumed = _selectivities(estimate_label, sigma_st)
+            totals = []
+            for run_index in range(scale.runs):
+                data_source = build_workload(topology, query, actual, seed=200 + run_index)
+                result = run_single(
+                    query, topology, data_source, algorithm, assumed,
+                    cycles=scale.cycles, seed=run_index,
+                )
+                totals.append(result.report.total_traffic)
+            per_estimate[estimate_label] = sum(totals) / len(totals)
+        best_estimate = min(per_estimate, key=per_estimate.get)
+        for estimate_label, traffic in per_estimate.items():
+            rows.append({
+                "true_ratio": true_label,
+                "estimated_ratio": estimate_label,
+                "is_true_estimate": estimate_label == true_label,
+                "total_traffic_kb": traffic / 1000.0,
+                "best_estimate": best_estimate,
+            })
+    return rows
+
+
+def fig04_costmodel_query0(scale: Optional[ExperimentScale] = None,
+                           true_ratios: Optional[Sequence[str]] = None,
+                           estimated_ratios: Optional[Sequence[str]] = None,
+                           ) -> List[Dict[str, object]]:
+    """Figure 4: pairwise cost model validation on the 1:1 Query 0.
+
+    The paper optimizes Query 0 (sigma_st = 20 %, w = 3) for each of the five
+    selectivity ratios while the data follows one true ratio; the dark (true)
+    bar should be the lowest in each group.
+    """
+    scale = scale or scale_from_env()
+    return _estimate_sensitivity(
+        lambda **kw: build_query0(num_nodes=scale.num_nodes, seed=1, **kw),
+        algorithm="innet",
+        sigma_st=0.20,
+        scale=scale,
+        true_ratios=true_ratios,
+        estimated_ratios=estimated_ratios,
+    )
+
+
+def fig08_mpo_costmodel(scale: Optional[ExperimentScale] = None,
+                        true_ratios: Optional[Sequence[str]] = None,
+                        estimated_ratios: Optional[Sequence[str]] = None,
+                        ) -> List[Dict[str, object]]:
+    """Figure 8: MPO cost-model validation for Query 1 (5 %) and Query 2 (10 %)."""
+    rows: List[Dict[str, object]] = []
+    for query_name, builder, sigma_st in (
+        ("query1", build_query1, 0.05),
+        ("query2", build_query2, 0.10),
+    ):
+        for row in _estimate_sensitivity(
+            builder, algorithm="innet-cmpg", sigma_st=sigma_st, scale=scale,
+            true_ratios=true_ratios, estimated_ratios=estimated_ratios,
+        ):
+            row["query"] = query_name
+            rows.append(row)
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 5: load distribution of the most loaded nodes
+# ---------------------------------------------------------------------------
+
+def fig05_load_distribution(scale: Optional[ExperimentScale] = None,
+                            algorithms: Optional[Sequence[str]] = None,
+                            top_k: int = 15) -> List[Dict[str, object]]:
+    """Figure 5: per-node load of the 15 most loaded nodes, Query 1."""
+    scale = scale or scale_from_env()
+    algorithms = list(algorithms or ["naive", "base", "innet", "innet-cm",
+                                     "innet-cmg", "innet-cmp", "innet-cmpg"])
+    selectivities = Selectivities(0.5, 0.5, 0.2)
+    topology = build_topology(scale, preset="moderate", seed=0)
+    query = build_query1()
+    rows: List[Dict[str, object]] = []
+    data_source = build_workload(topology, query, selectivities, seed=300)
+    for algorithm in algorithms:
+        result = run_single(
+            query, topology, data_source, algorithm, selectivities,
+            cycles=scale.cycles, seed=0,
+        )
+        for rank, (node_id, load) in enumerate(result.report.top_loaded_nodes[:top_k], 1):
+            rows.append({
+                "algorithm": algorithm,
+                "rank": rank,
+                "node": node_id,
+                "load_kb": load / 1000.0,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figures 6 and 7: centralized vs distributed optimization
+# ---------------------------------------------------------------------------
+
+def _random_pairs(topology, count: int, seed: int = 0):
+    import numpy as np
+
+    rng = np.random.default_rng(seed)
+    candidates = [n for n in topology.node_ids if n != topology.base_id]
+    pairs = []
+    while len(pairs) < count:
+        source, target = rng.choice(candidates, size=2, replace=False)
+        pairs.append((int(source), int(target)))
+    return pairs
+
+
+def fig06_centralized_vs_distributed(scale: Optional[ExperimentScale] = None,
+                                     num_pairs: int = 10) -> List[Dict[str, object]]:
+    """Figure 6: initiation traffic at the base and latency, centralized vs
+    distributed optimization."""
+    scale = scale or scale_from_env()
+    topology = build_topology(scale, preset="moderate", seed=0)
+    pairs = _random_pairs(topology, num_pairs, seed=1)
+    involved = sorted({node for pair in pairs for node in pair})
+
+    centralized_sim = NetworkSimulator(topology.copy())
+    centralized = centralized_initiation(topology, involved, simulator=centralized_sim)
+
+    distributed_sim = NetworkSimulator(topology.copy())
+    substrate = MultiTreeSubstrate(topology, num_trees=3)
+    sizes = MessageSizes()
+    for source, target in pairs:
+        route = substrate.best_route(source, target)
+        distributed_sim.transfer(route, sizes.explore(len(route)), MessageKind.EXPLORE)
+        distributed_sim.transfer(list(reversed(route)), sizes.explore(len(route)),
+                                 MessageKind.EXPLORE_REPLY)
+    distributed_latency = distributed_initiation_latency(topology, pairs)
+
+    return [
+        {
+            "scheme": "centralized",
+            "traffic_at_base_kb": centralized.traffic_at_base / 1000.0,
+            "total_traffic_kb": centralized.total_traffic / 1000.0,
+            "latency_cycles": centralized.latency_cycles,
+        },
+        {
+            "scheme": "distributed",
+            "traffic_at_base_kb": distributed_sim.stats.at_base(topology.base_id) / 1000.0,
+            "total_traffic_kb": distributed_sim.stats.total() / 1000.0,
+            "latency_cycles": distributed_latency,
+        },
+    ]
+
+
+def fig07_optimal_vs_distributed(scale: Optional[ExperimentScale] = None,
+                                 num_pairs: int = 10) -> List[Dict[str, object]]:
+    """Figure 7: expected computation traffic of the distributed placement vs
+    the optimum computed with global knowledge, across the five topologies.
+
+    The paper's setting (sigma_s = 1, sigma_t = sigma_st = 0) makes the
+    optimum trivially "join at the source"; we also report the symmetric
+    variant (sigma_s = sigma_t = 1), where the placement is non-trivial, to
+    show the distributed scheme stays within a few percent of the optimum.
+    """
+    scale = scale or scale_from_env()
+    workloads = {
+        "paper(1,0,0)": Selectivities(1.0, 0.0, 0.0),
+        "symmetric(1,1,0)": Selectivities(1.0, 1.0, 0.0),
+    }
+    rows: List[Dict[str, object]] = []
+    topologies = all_standard_topologies(num_nodes=scale.num_nodes, seed=0)
+    for name, topology in topologies.items():
+        pairs = _random_pairs(topology, num_pairs, seed=2)
+        substrate = MultiTreeSubstrate(topology, num_trees=3)
+        for workload_label, selectivities in workloads.items():
+            optimal = optimal_pair_placements(topology, pairs, selectivities, window_size=1)
+            optimal_cost = sum(cost for _, cost in optimal.values())
+            distributed_cost = 0.0
+            for source, target in pairs:
+                route = substrate.best_route(source, target)
+                pair_path = PairPath(
+                    source=source, target=target, path=route,
+                    hops_to_base=[substrate.hops_to_base(n) for n in route],
+                )
+                decision = place_join_node(
+                    pair_path, selectivities, 1, substrate.path_to_base, topology.base_id
+                )
+                distributed_cost += decision.expected_cost
+            rows.append({
+                "topology": name,
+                "workload": workload_label,
+                "optimal_cost": optimal_cost,
+                "distributed_cost": distributed_cost,
+                "overhead_percent": 100.0 * (distributed_cost - optimal_cost)
+                / optimal_cost if optimal_cost else 0.0,
+            })
+    return rows
+
+
+# ---------------------------------------------------------------------------
+# Figure 9: MPO contribution breakdown
+# ---------------------------------------------------------------------------
+
+def fig09a_method_vs_duration(scale: Optional[ExperimentScale] = None,
+                              durations: Optional[Sequence[int]] = None,
+                              algorithms: Optional[Sequence[str]] = None,
+                              ) -> List[Dict[str, object]]:
+    """Figure 9a: total traffic against query duration, Query 2."""
+    scale = scale or scale_from_env()
+    algorithms = list(algorithms or ["naive", "base", "ght", "innet", "innet-cm",
+                                     "innet-cmg", "innet-cmpg"])
+    if durations is None:
+        step = max(10, scale.cycles // 2)
+        durations = [step, 2 * step, 4 * step]
+    selectivities = Selectivities(0.5, 0.5, 0.1)
+    rows: List[Dict[str, object]] = []
+    topology = build_topology(scale, preset="moderate", seed=0)
+    query = build_query2()
+    for duration in durations:
+        data_source = build_workload(topology, query, selectivities, seed=400)
+        for algorithm in algorithms:
+            result = run_single(
+                query, topology, data_source, algorithm, selectivities,
+                cycles=duration, seed=0,
+            )
+            rows.append({
+                "cycles": duration,
+                "algorithm": algorithm,
+                "total_traffic_kb": result.report.total_traffic / 1000.0,
+            })
+    return rows
+
+
+def fig09b_mpo_vs_join_selectivity(scale: Optional[ExperimentScale] = None,
+                                   join_selectivities: Optional[Sequence[float]] = None,
+                                   cycles: Optional[int] = None,
+                                   ) -> List[Dict[str, object]]:
+    """Figure 9b: Innet / -cm / -cmg / -cmpg at long duration vs sigma_st."""
+    scale = scale or scale_from_env()
+    sweep = list(join_selectivities or JOIN_SELECTIVITIES)
+    algorithms = ["innet", "innet-cm", "innet-cmg", "innet-cmpg"]
+    rows: List[Dict[str, object]] = []
+    for sigma_st in sweep:
+        selectivities = Selectivities(0.5, 0.5, sigma_st)
+        results = run_comparison(
+            build_query2, algorithms=algorithms,
+            data_selectivities=selectivities, scale=scale,
+            cycles=cycles or scale.long_cycles,
+        )
+        for algorithm, aggregate in results.items():
+            rows.append({
+                "sigma_st": sigma_st,
+                "algorithm": algorithm,
+                "total_traffic_kb": aggregate.mean("total_traffic") / 1000.0,
+            })
+    return rows

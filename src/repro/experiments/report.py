@@ -1,0 +1,87 @@
+"""Plain-text reporting of experiment results.
+
+The paper's figures are bar charts; the harness reports the same series as
+aligned text tables so the benchmarks can print exactly the rows a reader
+needs to compare against the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    float_format: Optional[str] = None,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows of dictionaries as an aligned text table.
+
+    Floats use one decimal place, except small values (|v| < 10) which keep
+    two so selectivities like 0.05 do not collapse into 0.1.
+    """
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    if columns is None:
+        columns = list(rows[0].keys())
+
+    def render(value: object) -> str:
+        if isinstance(value, float):
+            if float_format is not None:
+                return float_format.format(value)
+            return f"{value:.2f}" if abs(value) < 10 else f"{value:.1f}"
+        return str(value)
+
+    rendered = [[render(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(str(col)), max(len(line[i]) for line in rendered))
+        for i, col in enumerate(columns)
+    ]
+    header = "  ".join(str(col).ljust(widths[i]) for i, col in enumerate(columns))
+    separator = "  ".join("-" * widths[i] for i in range(len(columns)))
+    body = "\n".join(
+        "  ".join(line[i].rjust(widths[i]) for i in range(len(columns)))
+        for line in rendered
+    )
+    table = "\n".join([header, separator, body])
+    if title:
+        return f"{title}\n{table}"
+    return table
+
+
+def results_to_rows(
+    results: Dict[str, "AggregateResult"],
+    metrics: Sequence[str] = ("total_traffic", "base_traffic", "max_node_load"),
+    label: Optional[str] = None,
+    to_kb: bool = True,
+) -> List[Dict[str, object]]:
+    """Flatten a run_comparison() result into table rows (one per algorithm)."""
+    rows: List[Dict[str, object]] = []
+    divisor = 1000.0 if to_kb else 1.0
+    for algorithm, aggregate in results.items():
+        row: Dict[str, object] = {"algorithm": algorithm}
+        if label is not None:
+            row = {"setting": label, "algorithm": algorithm}
+        for metric in metrics:
+            row[metric if not to_kb else f"{metric}_kb"] = aggregate.mean(metric) / divisor
+            ci = aggregate.confidence_95(metric) / divisor
+            row["ci95" if len(metrics) == 1 else f"{metric}_ci95"] = ci
+        rows.append(row)
+    return rows
+
+
+def winner(results: Dict[str, "AggregateResult"], metric: str = "total_traffic") -> str:
+    """The algorithm with the lowest mean value of *metric*."""
+    return min(results, key=lambda name: results[name].mean(metric))
+
+
+def relative_to(
+    results: Dict[str, "AggregateResult"], reference: str,
+    metric: str = "total_traffic",
+) -> Dict[str, float]:
+    """Each algorithm's mean metric normalized to a reference algorithm."""
+    base = results[reference].mean(metric)
+    if base == 0:
+        return {name: 0.0 for name in results}
+    return {name: results[name].mean(metric) / base for name in results}

@@ -1,0 +1,132 @@
+"""The join execution engine.
+
+A :class:`JoinExecutor` wires a query, a topology, a data source and a join
+strategy into the network simulator and runs the query for a number of
+sampling cycles, producing the :class:`~repro.joins.base.ExecutionReport`
+metrics the paper's figures plot: total traffic, traffic at the base station,
+per-node load, results produced/delivered, result delay and drops.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.cost_model import Selectivities
+from repro.joins.base import (
+    DataSource,
+    ExecutionContext,
+    ExecutionReport,
+    JoinStrategy,
+    SelectivityProvider,
+)
+from repro.network.failures import FailureInjector
+from repro.network.links import LinkModel
+from repro.network.message import MessageSizes
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import Topology
+from repro.network.traffic import TrafficAccounting
+from repro.query.analysis import analyze_query
+from repro.query.query import JoinQuery
+
+
+class JoinExecutor:
+    """Runs one join strategy over a query on a simulated network."""
+
+    def __init__(
+        self,
+        query: JoinQuery,
+        topology: Topology,
+        data_source: DataSource,
+        strategy: JoinStrategy,
+        assumed_selectivities: SelectivityProvider,
+        link_model: Optional[LinkModel] = None,
+        accounting: TrafficAccounting = TrafficAccounting.BYTES,
+        sizes: Optional[MessageSizes] = None,
+        queue_capacity: Optional[int] = None,
+        failure_injector: Optional[FailureInjector] = None,
+        charge_tree_construction: bool = False,
+        seed: int = 0,
+    ) -> None:
+        self.query = query
+        self.topology = topology
+        self.strategy = strategy
+        self.failure_injector = failure_injector or FailureInjector()
+        self.charge_tree_construction = charge_tree_construction
+        self.simulator = NetworkSimulator(
+            topology,
+            link_model=link_model,
+            accounting=accounting,
+            sizes=sizes,
+            transmission_cycles_per_sample=query.sample_interval,
+            queue_capacity=queue_capacity,
+        )
+        self.context = ExecutionContext(
+            query=query,
+            analysis=analyze_query(query),
+            topology=topology,
+            simulator=self.simulator,
+            data_source=data_source,
+            assumed_selectivities=assumed_selectivities,
+            sizes=self.simulator.sizes,
+            seed=seed,
+        )
+        self._initiated = False
+        self._initiation_traffic = 0.0
+
+    # ------------------------------------------------------------------
+    def initiate(self) -> float:
+        """Run the strategy's initiation phase; returns its traffic."""
+        if self._initiated:
+            return self._initiation_traffic
+        before = self.simulator.stats.total()
+        if self.charge_tree_construction:
+            # The initial routing-tree flood; usually excluded, as every
+            # strategy needs it (Section 2.2).
+            self.simulator.flood(self.topology.base_id, self.simulator.sizes.control())
+        self.strategy.initiate(self.context)
+        self._initiation_traffic = self.simulator.stats.total() - before
+        self._initiated = True
+        return self._initiation_traffic
+
+    def run(self, cycles: int) -> ExecutionReport:
+        """Execute *cycles* sampling cycles (initiating first if needed)."""
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        self.initiate()
+        for cycle in range(cycles):
+            failed = self.failure_injector.apply(self.topology, cycle)
+            if failed:
+                self.strategy.handle_failures(self.context, failed, cycle)
+            self.strategy.execute_cycle(self.context, cycle)
+            self.simulator.advance_sampling_cycle()
+        return self.report(cycles)
+
+    # ------------------------------------------------------------------
+    def report(self, cycles: int) -> ExecutionReport:
+        stats = self.simulator.stats
+        total = stats.total()
+        results = self.strategy.results
+        reoptimizations = getattr(self.strategy, "reoptimizations", 0)
+        return ExecutionReport(
+            query_name=self.query.name,
+            algorithm=self.strategy.name,
+            cycles=cycles,
+            total_traffic=total,
+            initiation_traffic=self._initiation_traffic,
+            computation_traffic=total - self._initiation_traffic,
+            base_traffic=stats.at_base(self.topology.base_id),
+            max_node_load=stats.max_node_load(),
+            results_produced=results.produced,
+            results_delivered=results.delivered,
+            average_result_delay_cycles=results.average_delay,
+            average_result_path_hops=results.average_path_hops,
+            messages_dropped=stats.messages_dropped,
+            queue_drops=stats.queue_drops,
+            top_loaded_nodes=stats.top_loaded_nodes(k=15),
+            traffic_by_kind={
+                kind.value: units for kind, units in stats.traffic_by_kind().items()
+            },
+            reoptimizations=reoptimizations,
+            join_nodes_used=self.strategy.join_nodes_used(),
+            storage_tuples_peak=self.strategy.storage_peak,
+        )

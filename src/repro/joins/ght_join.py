@@ -1,0 +1,226 @@
+"""Grouped join at geographic-hash home nodes (GHT / DHT strategy).
+
+All producers sharing a join key route their tuples to the key's *home node*
+(the node whose location -- or hashed id, for the DHT variant on mesh
+networks -- is closest to the key's hash).  The home node performs the
+grouped join for that key and forwards results to the base station.  Because
+the home node's placement ignores locality it may be arbitrarily far from the
+producers, which is why the strategy routes over long, unpredictable paths
+(Section 2.2).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.joins.base import ExecutionContext, JoinStrategy, Pair, ProducerSample
+from repro.network.message import MessageKind
+from repro.query.analysis import EqualityRouting, RegionRouting
+from repro.routing.dht import DHTSubstrate
+from repro.routing.ght import GHTSubstrate
+from repro.routing.tree import RoutingTree
+
+Key = Tuple
+
+
+class GHTJoin(JoinStrategy):
+    """Grouped join keyed by the query's primary static join predicate."""
+
+    name = "ght"
+
+    def __init__(self, use_dht: bool = False) -> None:
+        super().__init__()
+        self.use_dht = use_dht
+        if use_dht:
+            self.name = "dht"
+        self.hash_substrate = None  # GHTSubstrate | DHTSubstrate
+        self.tree: RoutingTree = None  # type: ignore[assignment]
+        self._eligible: Dict[str, List[int]] = {}
+        #: producer (alias, node) -> keys it must send its tuples to
+        self._keys_of: Dict[Tuple[str, int], List[Key]] = {}
+        #: (key, alias, node) -> pairs probed when this producer's tuple arrives
+        self._pairs_at_key: Dict[Tuple[Key, str, int], List[Pair]] = {}
+        #: key -> home (join) node
+        self._home_of: Dict[Key, int] = {}
+        #: (producer, home) -> cached route
+        self._route_cache: Dict[Tuple[int, int], List[int]] = {}
+        #: home -> cached route to base
+        self._result_path: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def initiate(self, ctx: ExecutionContext) -> None:
+        self.tree = RoutingTree(ctx.topology)
+        self.hash_substrate = (
+            DHTSubstrate(ctx.topology) if self.use_dht else GHTSubstrate(ctx.topology)
+        )
+        source_alias, target_alias = ctx.query.aliases
+        self._eligible = {
+            source_alias: ctx.eligible_producers(source_alias),
+            target_alias: ctx.eligible_producers(target_alias),
+        }
+        routing = ctx.analysis.routing_predicate
+        if routing is None:
+            raise ValueError(
+                "the GHT strategy needs a static join key; the query has no "
+                "routable static join predicate"
+            )
+        self._assign_keys(ctx, routing)
+        self._resolve_home_nodes(ctx)
+        self._charge_initiation(ctx)
+
+    # -- key assignment -------------------------------------------------------
+    def _assign_keys(self, ctx: ExecutionContext, routing) -> None:
+        source_alias, target_alias = ctx.query.aliases
+        if isinstance(routing, EqualityRouting):
+            self._assign_equality_keys(ctx, routing)
+        elif isinstance(routing, RegionRouting):
+            self._assign_region_keys(ctx, routing)
+        else:  # pragma: no cover - defensive
+            raise TypeError(f"unsupported routing predicate {type(routing)!r}")
+
+    def _assign_equality_keys(self, ctx: ExecutionContext, routing: EqualityRouting) -> None:
+        source_alias, target_alias = ctx.query.aliases
+        for source in self._eligible[source_alias]:
+            s_attrs = ctx.topology.nodes[source].static_attributes
+            key: Key = ("val", routing.required_value(s_attrs)) \
+                if routing.search_alias == source_alias else \
+                ("val", s_attrs.get(routing.indexed_attribute))
+            self._keys_of.setdefault((source_alias, source), []).append(key)
+        for target in self._eligible[target_alias]:
+            t_attrs = ctx.topology.nodes[target].static_attributes
+            key = ("val", t_attrs.get(routing.indexed_attribute)) \
+                if routing.indexed_alias == target_alias else \
+                ("val", routing.required_value(t_attrs))
+            self._keys_of.setdefault((target_alias, target), []).append(key)
+        self._register_pairs(ctx)
+
+    def _assign_region_keys(self, ctx: ExecutionContext, routing: RegionRouting) -> None:
+        """Spatial grouping: cells of side ``radius``; a searcher sends to every
+        cell its radius disc overlaps, an indexed producer to its own cell."""
+        source_alias, target_alias = ctx.query.aliases
+        radius = routing.radius
+
+        def cell_of(position) -> Key:
+            return ("cell", int(math.floor(position[0] / radius)),
+                    int(math.floor(position[1] / radius)))
+
+        for target in self._eligible[target_alias]:
+            position = ctx.topology.nodes[target].position
+            self._keys_of.setdefault((target_alias, target), []).append(cell_of(position))
+        for source in self._eligible[source_alias]:
+            position = ctx.topology.nodes[source].position
+            keys = set()
+            cx, cy = position
+            for dx in (-radius, 0.0, radius):
+                for dy in (-radius, 0.0, radius):
+                    keys.add(cell_of((cx + dx, cy + dy)))
+            self._keys_of.setdefault((source_alias, source), []).extend(sorted(keys))
+        self._register_pairs(ctx)
+
+    def _register_pairs(self, ctx: ExecutionContext) -> None:
+        """Statically joining pairs meet at any key both endpoints send to."""
+        source_alias, target_alias = ctx.query.aliases
+        target_keys = {
+            node: set(self._keys_of.get((target_alias, node), []))
+            for node in self._eligible[target_alias]
+        }
+        for source in self._eligible[source_alias]:
+            source_attrs = ctx.topology.nodes[source].static_attributes
+            source_keys = set(self._keys_of.get((source_alias, source), []))
+            for target in self._eligible[target_alias]:
+                if source == target:
+                    continue
+                shared = source_keys & target_keys[target]
+                if not shared:
+                    continue
+                target_attrs = ctx.topology.nodes[target].static_attributes
+                if not ctx.analysis.pair_joins_statically(source_attrs, target_attrs):
+                    continue
+                meeting_key = sorted(shared)[0]
+                pair = (source, target)
+                self._pairs_at_key.setdefault(
+                    (meeting_key, source_alias, source), []
+                ).append(pair)
+                self._pairs_at_key.setdefault(
+                    (meeting_key, target_alias, target), []
+                ).append(pair)
+
+    # -- routing ----------------------------------------------------------------
+    def _resolve_home_nodes(self, ctx: ExecutionContext) -> None:
+        all_keys = {key for keys in self._keys_of.values() for key in keys}
+        for key in all_keys:
+            self._home_of[key] = self.hash_substrate.home_node(key)
+        for home in set(self._home_of.values()):
+            self._result_path[home] = self.tree.path_to_root(home)
+
+    def _route_to(self, ctx: ExecutionContext, producer: int, home: int) -> List[int]:
+        cached = self._route_cache.get((producer, home))
+        if cached is None:
+            if self.use_dht:
+                cached = ctx.topology.shortest_path(producer, home) or [producer]
+            else:
+                path = self.hash_substrate.greedy_route(producer, ("home", home))
+                # greedy_route targets the key's hash; route to the actual home
+                # node explicitly instead so caching stays consistent.
+                cached = ctx.topology.shortest_path(producer, home) or [producer]
+            self._route_cache[(producer, home)] = cached
+        return cached
+
+    def _charge_initiation(self, ctx: ExecutionContext) -> None:
+        """One key-routing round per (producer, key): the home node discovery."""
+        control = ctx.sizes.control(num_fields=2)
+        for (alias, producer), keys in self._keys_of.items():
+            for key in set(keys):
+                home = self._home_of[key]
+                path = self._route_to(ctx, producer, home)
+                ctx.ship(path, control, MessageKind.EXPLORE)
+
+    # ------------------------------------------------------------------
+    def execute_cycle(self, ctx: ExecutionContext, cycle: int) -> None:
+        source_alias, _ = ctx.query.aliases
+        samples = ctx.sample_producers(cycle, self._eligible)
+        data_size = ctx.data_tuple_size()
+        result_size = ctx.result_tuple_size()
+        for sample in samples:
+            producer_key = (sample.alias, sample.node_id)
+            for key in set(self._keys_of.get(producer_key, [])):
+                home = self._home_of[key]
+                path = self._route_to(ctx, sample.node_id, home)
+                if not ctx.ship(path, data_size, MessageKind.DATA):
+                    continue
+                pairs = self._pairs_at_key.get((key, sample.alias, sample.node_id), [])
+                produced = 0
+                for pair in pairs:
+                    produced += self._probe_pair(
+                        ctx, pair, sample, from_source=(sample.alias == source_alias)
+                    )
+                if produced:
+                    result_path = self._result_path.get(home, [home])
+                    delivered = ctx.ship(result_path, result_size, MessageKind.RESULT)
+                    hops = len(path) - 1 + len(result_path) - 1
+                    for _ in range(produced):
+                        self.results.record(delivered=delivered, delay_cycles=0,
+                                            path_hops=hops)
+        self._track_storage()
+
+    def handle_failures(self, ctx: ExecutionContext, failed: List[int], cycle: int) -> None:
+        if not failed:
+            return
+        for node_id in failed:
+            self.tree.repair_after_failure(node_id, simulator=ctx.simulator)
+        failed_set = set(failed)
+        # Re-home keys whose home node died, and drop stale cached routes.
+        for key, home in list(self._home_of.items()):
+            if home in failed_set:
+                new_home = self.hash_substrate.home_node(key)
+                self._home_of[key] = new_home
+                self._result_path[new_home] = self.tree.path_to_root(new_home)
+        self._route_cache = {
+            (producer, home): path
+            for (producer, home), path in self._route_cache.items()
+            if home not in failed_set and not failed_set.intersection(path)
+        }
+
+    def join_nodes_used(self) -> int:
+        return len(set(self._home_of.values()))

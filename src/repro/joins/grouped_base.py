@@ -1,0 +1,136 @@
+"""Grouped joins at the base station: the Naive and Base algorithms.
+
+*Naive* pushes selection conditions down to the nodes, then ships every
+satisfying tuple to the base station over the routing tree; the base performs
+all join computation.  There is no per-query setup beyond the initial routing
+tree, but traffic near the base and storage at the base are high.
+
+*Base* adds an initiation round that pre-computes the static join clauses:
+producers that cannot join with anyone are eliminated and never send data,
+trading a costlier initiation for a cheaper computation phase (Section 2.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.joins.base import ExecutionContext, JoinStrategy, Pair, ProducerSample
+from repro.network.message import MessageKind
+from repro.routing.tree import RoutingTree
+
+
+class NaiveJoin(JoinStrategy):
+    """Grouped join at the base with no pre-filtering."""
+
+    name = "naive"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tree: RoutingTree = None  # type: ignore[assignment]
+        self._eligible: Dict[str, List[int]] = {}
+        self._pairs_of: Dict[Tuple[str, int], List[Pair]] = {}
+        self._paths_to_base: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def initiate(self, ctx: ExecutionContext) -> None:
+        self.tree = RoutingTree(ctx.topology)
+        source_alias, target_alias = ctx.query.aliases
+        self._eligible = {
+            source_alias: ctx.eligible_producers(source_alias),
+            target_alias: ctx.eligible_producers(target_alias),
+        }
+        self._paths_to_base = {
+            node_id: self.tree.path_to_root(node_id)
+            for alias in self._eligible
+            for node_id in self._eligible[alias]
+        }
+        self._compute_pairs(ctx)
+
+    def _compute_pairs(self, ctx: ExecutionContext) -> None:
+        """Pairs that can join statically; known for free at the base station."""
+        source_alias, target_alias = ctx.query.aliases
+        self._pairs_of = {}
+        for source in self._eligible[source_alias]:
+            source_attrs = ctx.topology.nodes[source].static_attributes
+            for target in self._eligible[target_alias]:
+                if source == target:
+                    continue
+                target_attrs = ctx.topology.nodes[target].static_attributes
+                if not ctx.analysis.pair_joins_statically(source_attrs, target_attrs):
+                    continue
+                pair = (source, target)
+                self._pairs_of.setdefault((source_alias, source), []).append(pair)
+                self._pairs_of.setdefault((target_alias, target), []).append(pair)
+
+    def participating_producers(self, alias: str) -> List[int]:
+        """Producers that send data during the computation phase."""
+        return list(self._eligible.get(alias, []))
+
+    # ------------------------------------------------------------------
+    def execute_cycle(self, ctx: ExecutionContext, cycle: int) -> None:
+        source_alias, _ = ctx.query.aliases
+        eligible = {alias: self.participating_producers(alias) for alias in ctx.query.aliases}
+        samples = ctx.sample_producers(cycle, eligible)
+        data_size = ctx.data_tuple_size()
+        for sample in samples:
+            path = self._paths_to_base.get(sample.node_id)
+            if path is None or not ctx.topology.nodes[sample.node_id].alive:
+                continue
+            delivered = ctx.ship(path, data_size, MessageKind.DATA)
+            if not delivered:
+                continue
+            self._join_at_base(ctx, sample, from_source=(sample.alias == source_alias))
+        self._track_storage()
+
+    def _join_at_base(
+        self, ctx: ExecutionContext, sample: ProducerSample, from_source: bool
+    ) -> None:
+        for pair in self._pairs_of.get((sample.alias, sample.node_id), []):
+            produced = self._probe_pair(ctx, pair, sample, from_source)
+            for _ in range(produced):
+                # Results are produced where they are needed: no extra hops.
+                self.results.record(delivered=True, delay_cycles=0, path_hops=0)
+
+    def handle_failures(self, ctx: ExecutionContext, failed: List[int], cycle: int) -> None:
+        for node_id in failed:
+            self.tree.repair_after_failure(node_id, simulator=ctx.simulator)
+        # Recompute cached paths for producers whose old path died.
+        for node_id in list(self._paths_to_base):
+            if any(f in self._paths_to_base[node_id] for f in failed):
+                if ctx.topology.nodes[node_id].alive and self.tree.covers(node_id):
+                    self._paths_to_base[node_id] = self.tree.path_to_root(node_id)
+
+    def join_nodes_used(self) -> int:
+        return 1
+
+
+class BaseJoin(NaiveJoin):
+    """Naive plus an initiation round that eliminates non-joining producers."""
+
+    name = "base"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._participating: Dict[str, List[int]] = {}
+
+    def initiate(self, ctx: ExecutionContext) -> None:
+        super().initiate(ctx)
+        # Initiation round trip: each eligible producer reports its static join
+        # attributes to the base and receives back whether it participates.
+        report_size = ctx.sizes.control(num_fields=3)
+        for alias, nodes in self._eligible.items():
+            for node_id in nodes:
+                path = self._paths_to_base[node_id]
+                ctx.ship(path, report_size, MessageKind.CONTROL)
+                ctx.ship(list(reversed(path)), report_size, MessageKind.CONTROL)
+        # Producers with no statically joining partner are eliminated.
+        self._participating = {
+            alias: [
+                node_id for node_id in nodes
+                if self._pairs_of.get((alias, node_id))
+            ]
+            for alias, nodes in self._eligible.items()
+        }
+
+    def participating_producers(self, alias: str) -> List[int]:
+        return list(self._participating.get(alias, []))

@@ -1,0 +1,626 @@
+"""The Innet pairwise in-network join and its optimized variants.
+
+Innet places a join node on a path between each (s, t) producer pair using
+the cost model of Section 3.1, always checking whether joining at the base
+station is cheaper.  The variants studied in Section 5 are compositional
+flags on top of the same strategy:
+
+* ``cm``  -- per-producer multicast trees with cached state at branching
+  nodes, plus opportunistic merging of result packets (Appendix E).
+* ``g``   -- multi-join-pair group optimization (GROUPOPT, Section 5.2).
+* ``p``   -- path collapsing of node-disjoint paths that pass within one
+  radio hop of each other (Algorithms 2-3).
+* ``learn`` -- adaptive selectivity learning with join-node migration and
+  window hand-off (Section 6).
+
+The paper's figure labels map to: Innet, Innet-cm, Innet-cmg, Innet-cmp,
+Innet-cmpg, and "In-net learn".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.core.adaptive import AdaptivePolicy, LearningState
+from repro.core.cost_model import Selectivities
+from repro.core.group_opt import GroupOptimizer, build_groups
+from repro.core.optimizer import JoinPlan, PairwiseOptimizer
+from repro.core.placement import nomination_traffic
+from repro.joins.base import ExecutionContext, JoinStrategy, Pair, ProducerSample
+from repro.joins.multicast import MulticastTree, build_multicast_tree, collapse_paths
+from repro.network.message import MessageKind
+from repro.query.analysis import EqualityRouting, RegionRouting
+from repro.query.window import JoinState, WindowedTuple
+from repro.routing.multitree import MultiTreeSubstrate, PairPath
+from repro.summaries import BloomFilterSummary, RTreeSummary
+
+ProducerKey = Tuple[str, int]
+
+
+@dataclass(frozen=True)
+class InnetVariant:
+    """Which of the Section 5/6 optimizations are enabled."""
+
+    multicast: bool = False
+    group_optimization: bool = False
+    path_collapse: bool = False
+    merging: bool = False
+    learning: bool = False
+
+    @property
+    def label(self) -> str:
+        if not any((self.multicast, self.group_optimization, self.path_collapse,
+                    self.learning)):
+            return "innet"
+        suffix = ""
+        if self.multicast:
+            suffix += "cm"
+        if self.path_collapse:
+            suffix += "p"
+        if self.group_optimization:
+            suffix += "g"
+        name = f"innet-{suffix}" if suffix else "innet"
+        if self.learning:
+            name += "-learn"
+        return name
+
+    # -- the named configurations used in the paper's figures ----------------
+    @staticmethod
+    def basic() -> "InnetVariant":
+        return InnetVariant()
+
+    @staticmethod
+    def cm() -> "InnetVariant":
+        return InnetVariant(multicast=True, merging=True)
+
+    @staticmethod
+    def cmg() -> "InnetVariant":
+        return InnetVariant(multicast=True, merging=True, group_optimization=True)
+
+    @staticmethod
+    def cmp() -> "InnetVariant":
+        return InnetVariant(multicast=True, merging=True, path_collapse=True)
+
+    @staticmethod
+    def cmpg() -> "InnetVariant":
+        return InnetVariant(multicast=True, merging=True, path_collapse=True,
+                            group_optimization=True)
+
+    @staticmethod
+    def learn(base: Optional["InnetVariant"] = None) -> "InnetVariant":
+        base = base or InnetVariant.cmpg()
+        return InnetVariant(
+            multicast=base.multicast,
+            group_optimization=base.group_optimization,
+            path_collapse=base.path_collapse,
+            merging=base.merging,
+            learning=True,
+        )
+
+
+class InnetJoin(JoinStrategy):
+    """Pairwise in-network join with cost-based join-node placement."""
+
+    def __init__(
+        self,
+        variant: Optional[InnetVariant] = None,
+        num_trees: int = 3,
+        adaptive_policy: Optional[AdaptivePolicy] = None,
+        failover_cycles: int = 5,
+    ) -> None:
+        super().__init__()
+        self.variant = variant or InnetVariant.basic()
+        self.name = self.variant.label
+        self.num_trees = num_trees
+        self.adaptive_policy = adaptive_policy or AdaptivePolicy()
+        self.failover_cycles = failover_cycles
+
+        self.substrate: Optional[MultiTreeSubstrate] = None
+        self.optimizer: Optional[PairwiseOptimizer] = None
+        self.plan: JoinPlan = JoinPlan()
+        self._eligible: Dict[str, List[int]] = {}
+        self._pairs_of: Dict[ProducerKey, List[Pair]] = {}
+        self._multicast: Dict[ProducerKey, MulticastTree] = {}
+        self._learning: Dict[Pair, LearningState] = {}
+        self._recent_tuples: Dict[Tuple[Pair, str], Deque[WindowedTuple]] = {}
+        self._recovering: Dict[Pair, int] = {}
+        self._backlog: Dict[Pair, List[Tuple[str, ProducerSample]]] = {}
+        self._group_decision_cache: Dict[int, bool] = {}
+        self.reoptimizations = 0
+
+    # ------------------------------------------------------------------
+    # initiation
+    # ------------------------------------------------------------------
+    def initiate(self, ctx: ExecutionContext) -> None:
+        source_alias, target_alias = ctx.query.aliases
+        self._eligible = {
+            source_alias: ctx.eligible_producers(source_alias),
+            target_alias: ctx.eligible_producers(target_alias),
+        }
+        self.substrate = self._build_substrate(ctx)
+        self.optimizer = PairwiseOptimizer(
+            self.substrate, window_size=ctx.query.window_size, sizes=ctx.sizes
+        )
+        candidate_paths = self._discover_pairs(ctx)
+        selectivity_map = {
+            pair: ctx.selectivities_for(pair) for pair in candidate_paths
+        }
+        self.plan = self.optimizer.optimize_pairs(
+            candidate_paths, selectivity_map, simulator=ctx.simulator
+        )
+        if self.variant.group_optimization:
+            self.plan = self.optimizer.apply_group_optimization(
+                self.plan, selectivity_map, simulator=ctx.simulator
+            )
+            self._group_decision_cache = {
+                decision.group.coordinator: decision.use_innet
+                for decision in self.plan.group_decisions
+            }
+        self._rebuild_delivery(ctx)
+        if self.variant.learning:
+            for pair, assignment in self.plan.assignments.items():
+                self._learning[pair] = LearningState(
+                    current=assignment.assumed, window_size=ctx.query.window_size
+                )
+
+    def _build_substrate(self, ctx: ExecutionContext) -> MultiTreeSubstrate:
+        routing = ctx.analysis.routing_predicate
+        indexed: Dict[str, Any] = {}
+        extractors: Dict[str, Any] = {}
+        if isinstance(routing, EqualityRouting):
+            attr = routing.indexed_attribute
+            indexed[attr] = lambda: BloomFilterSummary(num_bits=256)
+            extractors[attr] = (
+                lambda node_id, _attr=attr: ctx.topology.nodes[node_id]
+                .static_attributes.get(_attr)
+            )
+        elif isinstance(routing, RegionRouting):
+            indexed["pos"] = lambda: RTreeSummary(max_entries=8)
+            extractors["pos"] = lambda node_id: ctx.topology.nodes[node_id].position
+        # Summary structures are built during routing-tree construction
+        # (Appendix C), which -- like the tree flood itself -- is substrate
+        # setup shared by all queries, so it is not charged to this query's
+        # initiation.  Pass ``charge_tree_construction=True`` to the executor
+        # to include the substrate setup flood explicitly.
+        substrate = MultiTreeSubstrate(
+            ctx.topology,
+            num_trees=self.num_trees,
+            indexed_attributes=indexed or None,
+            value_extractors=extractors or None,
+            sizes=ctx.sizes,
+        )
+        return substrate
+
+    def _discover_pairs(self, ctx: ExecutionContext) -> Dict[Pair, List[PairPath]]:
+        """Exploration: find matching (s, t) pairs and candidate paths."""
+        source_alias, target_alias = ctx.query.aliases
+        routing = ctx.analysis.routing_predicate
+        eligible_targets = set(self._eligible[target_alias])
+        candidate_paths: Dict[Pair, List[PairPath]] = {}
+
+        def statically_joins(source: int, target: int) -> bool:
+            return ctx.analysis.pair_joins_statically(
+                ctx.topology.nodes[source].static_attributes,
+                ctx.topology.nodes[target].static_attributes,
+            )
+
+        if isinstance(routing, EqualityRouting):
+            attr = routing.indexed_attribute
+            for source in self._eligible[source_alias]:
+                s_attrs = ctx.topology.nodes[source].static_attributes
+                required = routing.required_value(s_attrs)
+                result = self.substrate.find_matches(
+                    source,
+                    attr,
+                    summary_probe=lambda summary, v=required: summary.might_contain(v),
+                    node_matches=lambda node, v=required, src=source: (
+                        node != src
+                        and node in eligible_targets
+                        and ctx.topology.nodes[node].static_attributes.get(attr) == v
+                        and statically_joins(src, node)
+                    ),
+                    simulator=ctx.simulator,
+                    max_trees=2,
+                )
+                for target, paths in result.paths.items():
+                    candidate_paths[(source, target)] = paths
+        elif isinstance(routing, RegionRouting):
+            radius = routing.radius
+            for source in self._eligible[source_alias]:
+                position = ctx.topology.nodes[source].position
+                result = self.substrate.find_matches(
+                    source,
+                    "pos",
+                    summary_probe=lambda summary, p=position: summary.intersects_radius(p, radius),
+                    node_matches=lambda node, src=source, p=position: (
+                        node != src
+                        and node in eligible_targets
+                        and ctx.topology.distance(src, node) <= radius
+                        and statically_joins(src, node)
+                    ),
+                    simulator=ctx.simulator,
+                    max_trees=2,
+                )
+                for target, paths in result.paths.items():
+                    candidate_paths[(source, target)] = paths
+        else:
+            # No routable static join clause: every eligible pair is a
+            # candidate; exploration routes once along the best tree path.
+            for source in self._eligible[source_alias]:
+                for target in self._eligible[target_alias]:
+                    if source == target or not statically_joins(source, target):
+                        continue
+                    path = self.substrate.best_route(source, target)
+                    ctx.ship(path, ctx.sizes.explore(len(path)), MessageKind.EXPLORE)
+                    ctx.ship(list(reversed(path)), ctx.sizes.explore(len(path)),
+                             MessageKind.EXPLORE_REPLY)
+                    candidate_paths[(source, target)] = [
+                        PairPath(
+                            source=source, target=target, path=path,
+                            hops_to_base=[self.substrate.hops_to_base(n) for n in path],
+                        )
+                    ]
+        return candidate_paths
+
+    # ------------------------------------------------------------------
+    # delivery structures
+    # ------------------------------------------------------------------
+    def _rebuild_delivery(self, ctx: ExecutionContext,
+                          producers: Optional[List[ProducerKey]] = None) -> None:
+        """(Re)build per-producer shipping structures from the current plan."""
+        source_alias, target_alias = ctx.query.aliases
+        self._pairs_of = {}
+        for pair in self.plan.pairs():
+            source, target = pair
+            self._pairs_of.setdefault((source_alias, source), []).append(pair)
+            self._pairs_of.setdefault((target_alias, target), []).append(pair)
+        if not self.variant.multicast:
+            self._multicast = {}
+            return
+        rebuilt: Dict[ProducerKey, MulticastTree] = {}
+        wanted = set(producers) if producers is not None else None
+        for producer_key, pairs in self._pairs_of.items():
+            if wanted is not None and producer_key not in wanted:
+                existing = self._multicast.get(producer_key)
+                if existing is not None:
+                    rebuilt[producer_key] = existing
+                    continue
+            alias, node_id = producer_key
+            paths = []
+            for pair in pairs:
+                decision = self.plan.decision_for(pair)
+                path = (decision.source_to_join if alias == source_alias
+                        else decision.target_to_join)
+                if len(path) > 1:
+                    paths.append(path)
+            if not paths:
+                continue
+            if self.variant.path_collapse:
+                paths = collapse_paths(ctx.topology, node_id, paths)
+            tree = build_multicast_tree(node_id, paths)
+            rebuilt[producer_key] = tree
+            previous = self._multicast.get(producer_key)
+            if tree.parent and (previous is None or previous.parent != tree.parent):
+                # Push the (updated) multicast tree state to the branching
+                # nodes so path vectors can be compressed (Appendix E).
+                ctx.simulator.broadcast(
+                    node_id, max(1, tree.maintenance_bytes()), MessageKind.CONTROL
+                )
+        self._multicast = rebuilt
+
+    def _path_to_join(self, ctx: ExecutionContext, alias: str, pair: Pair) -> List[int]:
+        decision = self.plan.decision_for(pair)
+        source_alias, _ = ctx.query.aliases
+        return decision.source_to_join if alias == source_alias else decision.target_to_join
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def execute_cycle(self, ctx: ExecutionContext, cycle: int) -> None:
+        source_alias, target_alias = ctx.query.aliases
+        samples = ctx.sample_producers(cycle, self._eligible)
+        data_size = ctx.data_tuple_size()
+        produced_at: Dict[int, List[int]] = {}  # join node -> result delays
+
+        self._finish_recoveries(ctx, cycle, produced_at)
+
+        for sample in samples:
+            producer_key = (sample.alias, sample.node_id)
+            pairs = self._pairs_of.get(producer_key)
+            if not pairs:
+                continue
+            shipped_join_nodes: set = set()
+            if self.variant.multicast and producer_key in self._multicast:
+                tree = self._multicast[producer_key]
+                for parent, child in tree.edges():
+                    ctx.ship([parent, child], data_size, MessageKind.DATA)
+                shipped_join_nodes = set(tree.destinations)
+            for pair in pairs:
+                if self._recovering.get(pair, -1) > cycle:
+                    self._backlog.setdefault(pair, []).append((sample.alias, sample))
+                    continue
+                decision = self.plan.decision_for(pair)
+                if decision.join_node not in shipped_join_nodes:
+                    # The tuple travels to each *distinct* join node once; all
+                    # pairs the producer has at that node share the message.
+                    path = self._path_to_join(ctx, sample.alias, pair)
+                    if not ctx.ship(path, data_size, MessageKind.DATA):
+                        continue
+                    shipped_join_nodes.add(decision.join_node)
+                self._remember_tuple(ctx, pair, sample)
+                delays = self._probe(ctx, pair, sample,
+                                     from_source=(sample.alias == source_alias),
+                                     cycle=cycle)
+                if delays:
+                    produced_at.setdefault(decision.join_node, []).extend(delays)
+
+        self._forward_results(ctx, produced_at)
+        if self.variant.learning:
+            self._learn(ctx, cycle)
+        self._track_storage()
+
+    # -- probing with delay tracking -------------------------------------------
+    def _probe(
+        self,
+        ctx: ExecutionContext,
+        pair: Pair,
+        sample: ProducerSample,
+        from_source: bool,
+        cycle: int,
+    ) -> List[int]:
+        state = self._state_for(pair, ctx.query.window_size)
+        matches = state.probe(
+            from_source,
+            sample.as_windowed_tuple(),
+            lambda s_values, t_values: ctx.analysis.tuples_join(s_values, t_values),
+        )
+        delays = [max(0, cycle - max(s.cycle, t.cycle)) for s, t in matches]
+        if self.variant.learning and pair in self._learning:
+            observation = self._learning[pair].observation
+            if from_source:
+                observation.record_source_tuple()
+            else:
+                observation.record_target_tuple()
+            observation.record_results(len(matches))
+        return delays
+
+    def _forward_results(self, ctx: ExecutionContext,
+                         produced_at: Dict[int, List[int]]) -> None:
+        result_size = ctx.result_tuple_size()
+        payload = result_size - ctx.sizes.header
+        for join_node, delays in produced_at.items():
+            if not delays:
+                continue
+            if join_node == ctx.base_id:
+                for delay in delays:
+                    self.results.record(delivered=True, delay_cycles=delay, path_hops=0)
+                continue
+            if self.substrate.primary_tree.covers(join_node):
+                path = self.substrate.path_to_base(join_node)
+            else:
+                # The join node dropped out of the repaired routing tree (it
+                # failed this cycle); its results of this cycle are lost.
+                for delay in delays:
+                    self.results.record(delivered=False, delay_cycles=delay, path_hops=0)
+                continue
+            if self.variant.merging:
+                merged_size = ctx.sizes.header + payload * len(delays)
+                delivered = ctx.ship(path, merged_size, MessageKind.RESULT)
+            else:
+                delivered = True
+                for _ in delays:
+                    delivered = ctx.ship(path, result_size, MessageKind.RESULT) and delivered
+            for delay in delays:
+                self.results.record(delivered=delivered, delay_cycles=delay,
+                                    path_hops=len(path) - 1)
+
+    def _remember_tuple(self, ctx: ExecutionContext, pair: Pair, sample: ProducerSample) -> None:
+        """Producers keep their last w sent tuples for failure recovery."""
+        key = (pair, sample.alias)
+        buffer = self._recent_tuples.get(key)
+        if buffer is None:
+            buffer = deque(maxlen=ctx.query.window_size)
+            self._recent_tuples[key] = buffer
+        buffer.append(sample.as_windowed_tuple())
+
+    # ------------------------------------------------------------------
+    # adaptive learning (Section 6)
+    # ------------------------------------------------------------------
+    def _learn(self, ctx: ExecutionContext, cycle: int) -> None:
+        policy = self.adaptive_policy
+        changed_producers: List[ProducerKey] = []
+        updated_pairs: List[Pair] = []
+        source_alias, target_alias = ctx.query.aliases
+        old_join_nodes = {
+            pair: self.plan.decision_for(pair).join_node for pair in self.plan.pairs()
+        }
+        for pair, learning in self._learning.items():
+            learning.observation.record_cycle()
+            if not policy.is_check_cycle(cycle) and not policy.is_reset_cycle(cycle):
+                continue
+            updated = learning.maybe_update(policy, cycle)
+            if updated is None:
+                continue
+            # Re-place the pair with the learned estimates; nominations are
+            # charged below, and only for pairs whose join node actually moved.
+            self.optimizer.reoptimize_pair(
+                self.plan, pair, updated, simulator=None, charge_nomination=False
+            )
+            self.reoptimizations += 1
+            updated_pairs.append(pair)
+        if not updated_pairs:
+            return
+        # Section 6: learning also re-triggers the multi-pair optimization, but
+        # only the groups containing re-estimated pairs exchange messages.
+        if self.variant.group_optimization:
+            self._redecide_groups(ctx, updated_pairs)
+        for pair, old_join in old_join_nodes.items():
+            new_join = self.plan.decision_for(pair).join_node
+            if new_join != old_join:
+                nomination_traffic(ctx.simulator, self.plan.decision_for(pair), ctx.sizes)
+                self._transfer_window(ctx, pair, old_join, new_join)
+                changed_producers.append((source_alias, pair[0]))
+                changed_producers.append((target_alias, pair[1]))
+        if changed_producers:
+            self._rebuild_delivery(ctx, producers=changed_producers)
+
+    def _redecide_groups(self, ctx: ExecutionContext, updated_pairs: List[Pair]) -> None:
+        """Recompute the GROUPOPT decision for groups with fresh estimates."""
+        all_pairs = self.plan.pairs()
+        groups = build_groups(all_pairs)
+        updated_set = set(updated_pairs)
+        affected = [g for g in groups if updated_set.intersection(g.pairs)]
+        if not affected:
+            return
+        group_optimizer = GroupOptimizer(
+            hops_to_base=self.substrate.hops_to_base,
+            route_between=self.substrate.best_route,
+            sizes=ctx.sizes,
+        )
+        placements = {pair: self.plan.assignments[pair].decision for pair in all_pairs}
+        for group in affected:
+            learned = [
+                self._learning[pair].current
+                for pair in group.pairs
+                if pair in self._learning
+            ] or [self.plan.assignments[pair].assumed for pair in group.pairs]
+            count = len(learned)
+            group_selectivities = Selectivities(
+                sigma_s=sum(s.sigma_s for s in learned) / count,
+                sigma_t=sum(s.sigma_t for s in learned) / count,
+                sigma_st=sum(s.sigma_st for s in learned) / count,
+            )
+            # Only producers whose estimates changed re-send Delta C_p, and
+            # the coordinator only broadcasts when its decision flips.
+            changed_producers = {
+                endpoint
+                for pair in group.pairs
+                if pair in updated_set
+                for endpoint in pair
+            }
+            previous = self._group_decision_cache.get(group.coordinator)
+            decision = group_optimizer.decide_group(
+                group, placements, group_selectivities, ctx.query.window_size,
+                simulator=ctx.simulator,
+                report_from=changed_producers,
+                previous_decision=previous,
+            )
+            self._group_decision_cache[group.coordinator] = decision.use_innet
+            self.plan.group_decisions.append(decision)
+            group_optimizer.apply_decision(
+                decision, placements, ctx.base_id, self.substrate.path_to_base
+            )
+        for pair in all_pairs:
+            self.plan.assignments[pair].decision = placements[pair]
+
+    def _transfer_window(self, ctx: ExecutionContext, pair: Pair,
+                         old_join: int, new_join: int) -> None:
+        """Move the pair's buffered window to the new join node (Section 6)."""
+        state = self.pair_states.get(pair)
+        if state is None or old_join == new_join:
+            return
+        tuples = state.buffered_tuple_count()
+        if tuples == 0:
+            return
+        try:
+            path = self.substrate.best_route(old_join, new_join)
+        except ValueError:
+            return
+        size = ctx.sizes.header + tuples * ctx.sizes.attribute * 2
+        ctx.ship(path, size, MessageKind.WINDOW_TRANSFER)
+
+    # ------------------------------------------------------------------
+    # failures (Section 7)
+    # ------------------------------------------------------------------
+    def handle_failures(self, ctx: ExecutionContext, failed: List[int], cycle: int) -> None:
+        if not failed:
+            return
+        failed_set = set(failed)
+        for node_id in failed:
+            self.substrate.repair_after_failure(node_id, simulator=ctx.simulator)
+        for pair in self.plan.pairs():
+            decision = self.plan.decision_for(pair)
+            # A dead producer simply stops contributing, but the pair's join
+            # node and paths must still be repaired if the failure touched
+            # them, so the surviving producer keeps a working join location.
+            if decision.join_node in failed_set or failed_set.intersection(
+                decision.source_to_join
+            ) or failed_set.intersection(decision.target_to_join):
+                # Limited-exploration repair takes a couple of cycles; after it
+                # the pair joins at the base station (Section 7).
+                self._recovering[pair] = cycle + self.failover_cycles
+
+    def _finish_recoveries(self, ctx: ExecutionContext, cycle: int,
+                           produced_at: Dict[int, List[int]]) -> None:
+        source_alias, target_alias = ctx.query.aliases
+        finished = [p for p, until in self._recovering.items() if until <= cycle]
+        for pair in finished:
+            del self._recovering[pair]
+            assignment = self.plan.assignments.get(pair)
+            if assignment is None:
+                continue
+            # Switch the pair to joining at the base station.
+            base_decision = self._base_decision(ctx, pair, assignment.assumed)
+            assignment.decision = base_decision
+            # Forward the last w tuples from each producer so the base can
+            # rebuild the join window, then replay the backlog.
+            replays: List[Tuple[str, WindowedTuple]] = []
+            for alias in (source_alias, target_alias):
+                for tup in self._recent_tuples.get((pair, alias), []):
+                    replays.append((alias, tup))
+            for alias, sample in self._backlog.pop(pair, []):
+                replays.append((alias, sample.as_windowed_tuple()))
+            # Start a fresh window at the base.
+            self.pair_states[pair] = JoinState(
+                window_size=ctx.query.window_size, source_id=pair[0], target_id=pair[1]
+            )
+            data_size = ctx.data_tuple_size()
+            for alias, tup in replays:
+                producer = tup.producer_id
+                if not ctx.topology.nodes[producer].alive:
+                    continue
+                path = (base_decision.source_to_join if alias == source_alias
+                        else base_decision.target_to_join)
+                if not ctx.ship(path, data_size, MessageKind.DATA):
+                    continue
+                state = self.pair_states[pair]
+                matches = state.probe(
+                    alias == source_alias,
+                    tup,
+                    lambda s_values, t_values: ctx.analysis.tuples_join(s_values, t_values),
+                )
+                delays = [max(0, cycle - max(s.cycle, t.cycle)) for s, t in matches]
+                if delays:
+                    produced_at.setdefault(base_decision.join_node, []).extend(delays)
+            self._rebuild_delivery(ctx)
+
+    def _base_decision(self, ctx: ExecutionContext, pair: Pair,
+                       assumed: Selectivities):
+        from repro.core.placement import PlacementDecision
+
+        source, target = pair
+        try:
+            source_path = self.substrate.path_to_base(source)
+        except KeyError:
+            source_path = ctx.topology.shortest_path(source, ctx.base_id) or [source]
+        try:
+            target_path = self.substrate.path_to_base(target)
+        except KeyError:
+            target_path = ctx.topology.shortest_path(target, ctx.base_id) or [target]
+        return PlacementDecision(
+            source=source,
+            target=target,
+            join_node=ctx.base_id,
+            at_base=True,
+            expected_cost=0.0,
+            base_cost=0.0,
+            source_to_join=source_path,
+            target_to_join=target_path,
+            join_to_base=[ctx.base_id],
+        )
+
+    # ------------------------------------------------------------------
+    def join_nodes_used(self) -> int:
+        return len(self.plan.join_nodes())

@@ -1,0 +1,120 @@
+"""The through-the-base strategy of Yang et al. 2007 ([16] in the paper).
+
+Source tuples travel up the routing tree to the base station, which forwards
+them back down to the target nodes holding matching join keys; the target
+nodes perform the join against their locally buffered readings and return
+answers to the base.  This keeps storage at the base low (Table 3: ``|S|``
+values) but often costs more computation traffic than joining at the base,
+and its routing queues overflow under the paper's synthetic workloads when
+per-node queues are bounded (Section 4.2).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.joins.base import ExecutionContext, JoinStrategy, Pair, ProducerSample
+from repro.network.message import MessageKind
+from repro.query.window import WindowedTuple
+from repro.routing.tree import RoutingTree
+
+
+class ThroughBaseJoin(JoinStrategy):
+    """Yang+07: S data through the root, joined at the T nodes."""
+
+    name = "yang07"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.tree: RoutingTree = None  # type: ignore[assignment]
+        self._eligible: Dict[str, List[int]] = {}
+        #: source node -> target nodes its tuples are forwarded to
+        self._targets_of_source: Dict[int, List[int]] = {}
+        self._paths_to_base: Dict[int, List[int]] = {}
+        self._paths_from_base: Dict[int, List[int]] = {}
+
+    # ------------------------------------------------------------------
+    def initiate(self, ctx: ExecutionContext) -> None:
+        self.tree = RoutingTree(ctx.topology)
+        source_alias, target_alias = ctx.query.aliases
+        self._eligible = {
+            source_alias: ctx.eligible_producers(source_alias),
+            target_alias: ctx.eligible_producers(target_alias),
+        }
+        for alias, nodes in self._eligible.items():
+            for node_id in nodes:
+                self._paths_to_base[node_id] = self.tree.path_to_root(node_id)
+                self._paths_from_base[node_id] = self.tree.path_from_root(node_id)
+        # The base knows the static attributes (it disseminated the query), so
+        # it forwards each source tuple only to statically matching targets.
+        for source in self._eligible[source_alias]:
+            source_attrs = ctx.topology.nodes[source].static_attributes
+            targets = []
+            for target in self._eligible[target_alias]:
+                if target == source:
+                    continue
+                target_attrs = ctx.topology.nodes[target].static_attributes
+                if ctx.analysis.pair_joins_statically(source_attrs, target_attrs):
+                    targets.append(target)
+            self._targets_of_source[source] = targets
+
+    # ------------------------------------------------------------------
+    def execute_cycle(self, ctx: ExecutionContext, cycle: int) -> None:
+        source_alias, target_alias = ctx.query.aliases
+        samples = ctx.sample_producers(cycle, self._eligible)
+        data_size = ctx.data_tuple_size()
+        result_size = ctx.result_tuple_size()
+
+        # Target readings stay local: buffer them at their own node, joining
+        # against the source tuples previously forwarded down to this node.
+        target_samples = [s for s in samples if s.alias == target_alias]
+        for sample in target_samples:
+            for source, targets in self._targets_of_source.items():
+                if sample.node_id in targets:
+                    pair = (source, sample.node_id)
+                    produced = self._probe_pair(ctx, pair, sample, from_source=False)
+                    if produced:
+                        result_path = self._paths_to_base.get(sample.node_id, [sample.node_id])
+                        delivered = ctx.ship(result_path, result_size, MessageKind.RESULT)
+                        for _ in range(produced):
+                            self.results.record(delivered=delivered, delay_cycles=0,
+                                                path_hops=len(result_path) - 1)
+
+        # Source readings go up to the base, then down to each matching target.
+        for sample in (s for s in samples if s.alias == source_alias):
+            up_path = self._paths_to_base.get(sample.node_id)
+            if up_path is None:
+                continue
+            if not ctx.ship(up_path, data_size, MessageKind.DATA):
+                continue
+            for target in self._targets_of_source.get(sample.node_id, []):
+                if not ctx.topology.nodes[target].alive:
+                    continue
+                down_path = self._paths_from_base.get(target)
+                if down_path is None:
+                    continue
+                if not ctx.ship(down_path, data_size, MessageKind.DATA):
+                    continue
+                pair = (sample.node_id, target)
+                produced = self._probe_pair(ctx, pair, sample, from_source=True)
+                if produced:
+                    result_path = self._paths_to_base.get(target, [target])
+                    delivered = ctx.ship(result_path, result_size, MessageKind.RESULT)
+                    hops = (len(up_path) - 1) + (len(down_path) - 1) + (len(result_path) - 1)
+                    for _ in range(produced):
+                        self.results.record(delivered=delivered, delay_cycles=0,
+                                            path_hops=hops)
+        self._track_storage()
+
+    def handle_failures(self, ctx: ExecutionContext, failed: List[int], cycle: int) -> None:
+        for node_id in failed:
+            self.tree.repair_after_failure(node_id, simulator=ctx.simulator)
+        for node_id in list(self._paths_to_base):
+            if not ctx.topology.nodes[node_id].alive:
+                continue
+            if any(f in self._paths_to_base[node_id] for f in failed) and self.tree.covers(node_id):
+                self._paths_to_base[node_id] = self.tree.path_to_root(node_id)
+                self._paths_from_base[node_id] = self.tree.path_from_root(node_id)
+
+    def join_nodes_used(self) -> int:
+        return len({t for targets in self._targets_of_source.values() for t in targets})

@@ -1,0 +1,112 @@
+"""Message model and byte-size accounting.
+
+The paper's cost metric is bytes transferred on mote networks and messages on
+mesh networks (Appendix F).  Message sizes follow the mote implementation:
+16-bit attribute values, a small link-layer/routing header per packet, and
+path vectors encoded as delta-compressed node-id lists (Section 3.1).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Any, Dict, List, Optional, Sequence
+
+
+class MessageKind(Enum):
+    """Role of a message; used for traffic breakdowns and queue policies."""
+
+    DATA = "data"                    # producer readings flowing to a join node
+    RESULT = "result"                # join results flowing to the base station
+    EXPLORE = "explore"              # initiation-time path exploration
+    EXPLORE_REPLY = "explore_reply"  # path-vector reply back to the initiator
+    NOMINATE = "nominate"            # join-node nomination (Section 3.2)
+    CONTROL = "control"              # query dissemination, decisions, repairs
+    COST_REPORT = "cost_report"      # GROUPOPT cost differences to coordinator
+    DECISION = "decision"            # GROUPOPT decision broadcast
+    WINDOW_TRANSFER = "window_xfer"  # adaptive join-node hand-off (Section 6)
+    SNOOP_HINT = "snoop_hint"        # path-collapse optimization tuples (App. E)
+    TREE_MAINT = "tree_maint"        # routing tree / summary maintenance
+
+
+@dataclass(frozen=True)
+class MessageSizes:
+    """Byte-size model for the mote network.
+
+    The defaults approximate a TinyOS active message: an 11-byte header and
+    2-byte (16-bit) attribute values.  ``per_path_entry`` is the cost of one
+    entry of a delta-encoded path vector.
+    """
+
+    header: int = 11
+    attribute: int = 2
+    per_path_entry: int = 1
+    tuple_overhead: int = 2
+
+    def data_tuple(self, num_attributes: int = 1) -> int:
+        """Size of one data tuple (reading) carried in a DATA message."""
+        return self.header + self.tuple_overhead + num_attributes * self.attribute
+
+    def result_tuple(self, num_attributes: int = 2) -> int:
+        """Size of one join-result tuple (attributes from both sides)."""
+        return self.header + self.tuple_overhead + num_attributes * self.attribute
+
+    def explore(self, path_len: int, num_summary_bytes: int = 0) -> int:
+        """Size of an exploration message carrying a path vector."""
+        return self.header + path_len * self.per_path_entry + num_summary_bytes
+
+    def control(self, num_fields: int = 3) -> int:
+        return self.header + num_fields * self.attribute
+
+
+_message_counter = itertools.count()
+
+
+@dataclass
+class Message:
+    """A unit of communication travelling hop by hop through the network."""
+
+    kind: MessageKind
+    source: int
+    destination: Optional[int]
+    size_bytes: int
+    payload: Dict[str, Any] = field(default_factory=dict)
+    path: Optional[List[int]] = None
+    created_cycle: int = 0
+    message_id: int = field(default_factory=lambda: next(_message_counter))
+    hops_taken: int = 0
+    delivered_cycle: Optional[int] = None
+    dropped: bool = False
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0:
+            raise ValueError("size_bytes must be positive")
+        if self.path is not None and len(self.path) < 1:
+            raise ValueError("path must contain at least the source node")
+        if self.path is not None and self.path[0] != self.source:
+            raise ValueError("path must start at the source node")
+        if (
+            self.path is not None
+            and self.destination is not None
+            and self.path[-1] != self.destination
+        ):
+            raise ValueError("path must end at the destination node")
+
+    @property
+    def latency_cycles(self) -> Optional[int]:
+        """Transmission cycles from creation to delivery, if delivered."""
+        if self.delivered_cycle is None:
+            return None
+        return self.delivered_cycle - self.created_cycle
+
+    def remaining_path(self) -> Sequence[int]:
+        """Nodes not yet visited (excluding the current position)."""
+        if self.path is None:
+            return []
+        return self.path[self.hops_taken + 1 :]
+
+    def current_node(self) -> int:
+        if self.path is None:
+            return self.source
+        return self.path[min(self.hops_taken, len(self.path) - 1)]

@@ -1,0 +1,102 @@
+"""Sensor node model.
+
+A node carries *static* attributes (identifiers, coordinates, user-assigned
+roles -- Appendix B) that can be pre-indexed in routing tables, and *dynamic*
+attributes (physical readings) that change every sampling cycle.  The split is
+what makes pre-evaluation of static predicates possible (Section 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+Position = Tuple[float, float]
+
+
+@dataclass
+class SensorNode:
+    """A single sensor device in the multi-hop network.
+
+    Parameters
+    ----------
+    node_id:
+        Unique 16-bit identifier.
+    position:
+        Real-world coordinates in metres, used for radio connectivity, GPSR
+        routing and region-based (``pos``) queries.
+    is_base:
+        Whether this node is the base station (root of the primary routing
+        tree and sink for all query results).
+    static_attributes:
+        Attribute values that never change during a query's lifetime.
+    """
+
+    node_id: int
+    position: Position
+    is_base: bool = False
+    static_attributes: Dict[str, Any] = field(default_factory=dict)
+    dynamic_attributes: Dict[str, Any] = field(default_factory=dict)
+    alive: bool = True
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        self.static_attributes.setdefault("id", self.node_id)
+        self.static_attributes.setdefault("pos", self.position)
+
+    # -- attribute access ----------------------------------------------------
+    def get_attribute(self, name: str) -> Any:
+        """Return a static or dynamic attribute value.
+
+        Static attributes win on a name clash because they are pre-indexed and
+        routing relies on them being stable.
+        """
+        if name in self.static_attributes:
+            return self.static_attributes[name]
+        if name in self.dynamic_attributes:
+            return self.dynamic_attributes[name]
+        raise KeyError(f"node {self.node_id} has no attribute {name!r}")
+
+    def has_attribute(self, name: str) -> bool:
+        return name in self.static_attributes or name in self.dynamic_attributes
+
+    def set_static(self, name: str, value: Any) -> None:
+        self.static_attributes[name] = value
+
+    def set_dynamic(self, name: str, value: Any) -> None:
+        self.dynamic_attributes[name] = value
+
+    def attributes(self) -> Dict[str, Any]:
+        """A merged view (static values shadow dynamic ones)."""
+        merged = dict(self.dynamic_attributes)
+        merged.update(self.static_attributes)
+        return merged
+
+    # -- lifecycle -------------------------------------------------------------
+    def fail(self) -> None:
+        """Permanently fail the node (battery depletion, crash, obstruction)."""
+        self.alive = False
+
+    def recover(self) -> None:
+        self.alive = True
+
+    def distance_to(self, other: "SensorNode") -> float:
+        """Euclidean distance in metres to another node."""
+        dx = self.position[0] - other.position[0]
+        dy = self.position[1] - other.position[1]
+        return (dx * dx + dy * dy) ** 0.5
+
+    def move_to(self, position: Position) -> None:
+        """Relocate the node (mobility support, Appendix G)."""
+        self.position = position
+        self.static_attributes["pos"] = position
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "base" if self.is_base else "node"
+        return f"SensorNode({role} {self.node_id} @ {self.position})"
+
+
+def base_station(node_id: int = 0, position: Optional[Position] = None) -> SensorNode:
+    """Convenience constructor for a base-station node."""
+    return SensorNode(node_id=node_id, position=position or (0.0, 0.0), is_base=True)

@@ -1,0 +1,320 @@
+"""Cycle-driven network simulator.
+
+The paper's execution model has two nested time scales (Section 4.1): a
+*sampling cycle* in which every eligible producer takes a reading, which
+itself consists of many *transmission cycles* in which messages advance one
+radio hop.  The simulator supports both
+
+* **cycle-accurate transport** (:meth:`NetworkSimulator.send` followed by
+  :meth:`step_transmission_cycle`), used when latency matters (Figures 6b and
+  14a), and
+* **instant accounting** (:meth:`NetworkSimulator.transfer`), which charges a
+  whole path in one call and is used for the traffic-only experiments, where
+  only byte/message counts matter.
+
+Both paths share the same traffic statistics, link model and queue limits, so
+an algorithm implemented against one is directly comparable with the other.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence
+
+from repro.network.links import LinkModel, perfect_links
+from repro.network.message import Message, MessageKind, MessageSizes
+from repro.network.topology import Topology
+from repro.network.traffic import TrafficAccounting, TrafficStats
+
+DeliveryHandler = Callable[[int, Message], None]
+
+
+@dataclass
+class SimulationClock:
+    """Simulation time: sampling cycles containing transmission cycles."""
+
+    sampling_cycle: int = 0
+    transmission_cycle: int = 0
+    transmission_cycles_per_sample: int = 100
+
+    @property
+    def total_transmission_cycles(self) -> int:
+        return (
+            self.sampling_cycle * self.transmission_cycles_per_sample
+            + self.transmission_cycle
+        )
+
+    def advance_transmission(self, count: int = 1) -> None:
+        self.transmission_cycle += count
+        while self.transmission_cycle >= self.transmission_cycles_per_sample:
+            self.transmission_cycle -= self.transmission_cycles_per_sample
+            self.sampling_cycle += 1
+
+    def advance_sampling(self, count: int = 1) -> None:
+        self.sampling_cycle += count
+        self.transmission_cycle = 0
+
+
+class NetworkSimulator:
+    """Message-level simulator over a :class:`~repro.network.topology.Topology`.
+
+    Parameters
+    ----------
+    topology:
+        The deployment to simulate.
+    link_model:
+        Loss/retransmission model; defaults to perfect links.
+    accounting:
+        ``BYTES`` for mote networks, ``MESSAGES`` for 802.11 mesh networks.
+    sizes:
+        Byte-size model for the different message kinds.
+    queue_capacity:
+        Optional per-node forwarding-queue bound (messages per sampling
+        cycle).  Used to reproduce the routing-queue overflow of Yang+07
+        reported in Section 4.2.  ``None`` means unbounded.
+    """
+
+    def __init__(
+        self,
+        topology: Topology,
+        link_model: Optional[LinkModel] = None,
+        accounting: TrafficAccounting = TrafficAccounting.BYTES,
+        sizes: Optional[MessageSizes] = None,
+        transmission_cycles_per_sample: int = 100,
+        queue_capacity: Optional[int] = None,
+    ) -> None:
+        self.topology = topology
+        self.links = link_model or perfect_links()
+        self.sizes = sizes or MessageSizes()
+        self.stats = TrafficStats(accounting=accounting)
+        self.clock = SimulationClock(
+            transmission_cycles_per_sample=transmission_cycles_per_sample
+        )
+        self.queue_capacity = queue_capacity
+        self._handlers: Dict[int, List[DeliveryHandler]] = defaultdict(list)
+        self._default_handlers: List[DeliveryHandler] = []
+        self._in_flight: Deque[Message] = deque()
+        self.delivered: List[Message] = []
+        self.dropped: List[Message] = []
+        # Per-sampling-cycle forwarding counters for queue enforcement in
+        # instant-accounting mode.
+        self._cycle_forwarded: Dict[int, int] = defaultdict(int)
+
+    # ------------------------------------------------------------------
+    # handler registration
+    # ------------------------------------------------------------------
+    def register_handler(self, node_id: int, handler: DeliveryHandler) -> None:
+        """Invoke *handler(node_id, message)* when a message reaches *node_id*."""
+        if node_id not in self.topology.nodes:
+            raise KeyError(f"unknown node {node_id}")
+        self._handlers[node_id].append(handler)
+
+    def register_default_handler(self, handler: DeliveryHandler) -> None:
+        """Handler invoked for deliveries at nodes without a specific handler."""
+        self._default_handlers.append(handler)
+
+    def clear_handlers(self) -> None:
+        self._handlers.clear()
+        self._default_handlers.clear()
+
+    # ------------------------------------------------------------------
+    # instant accounting transport
+    # ------------------------------------------------------------------
+    def transfer(
+        self,
+        path: Sequence[int],
+        size_bytes: int,
+        kind: MessageKind = MessageKind.DATA,
+        deliver: bool = False,
+        payload: Optional[dict] = None,
+    ) -> bool:
+        """Charge a message travelling the whole *path* in one call.
+
+        Every node except the last transmits once (plus retransmissions drawn
+        from the link model).  Returns ``True`` if the message reached the end
+        of the path, ``False`` if a hop failed or a queue overflowed.
+        """
+        if len(path) < 1:
+            raise ValueError("path must contain at least one node")
+        if len(path) == 1:
+            return True
+        for index in range(len(path) - 1):
+            sender = path[index]
+            receiver = path[index + 1]
+            if not self.topology.nodes[sender].alive or not self.topology.nodes[receiver].alive:
+                self.stats.charge_drop()
+                return False
+            if index > 0 and not self._admit_to_queue(sender):
+                self.stats.charge_drop(queue_drop=True)
+                return False
+            delivered_hop, attempts = self.links.attempt_hop()
+            self.stats.charge_transmission(
+                sender, size_bytes, kind, attempts=attempts, receiver=receiver
+            )
+            if not delivered_hop:
+                self.stats.charge_drop()
+                return False
+        if deliver:
+            message = Message(
+                kind=kind,
+                source=path[0],
+                destination=path[-1],
+                size_bytes=size_bytes,
+                payload=payload or {},
+                path=list(path),
+                created_cycle=self.clock.total_transmission_cycles,
+            )
+            message.hops_taken = len(path) - 1
+            message.delivered_cycle = self.clock.total_transmission_cycles
+            self._deliver(message)
+        return True
+
+    def broadcast(
+        self, node_id: int, size_bytes: int, kind: MessageKind = MessageKind.CONTROL
+    ) -> List[int]:
+        """One local broadcast: a single transmission heard by all neighbours."""
+        if not self.topology.nodes[node_id].alive:
+            return []
+        neighbours = self.topology.neighbors(node_id)
+        self.stats.charge_transmission(node_id, size_bytes, kind)
+        for neighbour in neighbours:
+            self.stats.received[neighbour] += (
+                size_bytes if self.stats.accounting is TrafficAccounting.BYTES else 1.0
+            )
+        return neighbours
+
+    def flood(
+        self, origin: int, size_bytes: int, kind: MessageKind = MessageKind.CONTROL
+    ) -> int:
+        """Network-wide flood (query dissemination): every node broadcasts once."""
+        visited = set()
+        frontier = [origin]
+        transmissions = 0
+        while frontier:
+            next_frontier: List[int] = []
+            for node_id in frontier:
+                if node_id in visited or not self.topology.nodes[node_id].alive:
+                    continue
+                visited.add(node_id)
+                self.broadcast(node_id, size_bytes, kind)
+                transmissions += 1
+                for neighbour in self.topology.neighbors(node_id):
+                    if neighbour not in visited:
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return transmissions
+
+    # ------------------------------------------------------------------
+    # cycle-accurate transport
+    # ------------------------------------------------------------------
+    def send(self, message: Message) -> None:
+        """Inject a message that will advance one hop per transmission cycle."""
+        if message.path is None:
+            raise ValueError("cycle-accurate send requires an explicit path")
+        message.created_cycle = self.clock.total_transmission_cycles
+        if len(message.path) == 1:
+            message.delivered_cycle = message.created_cycle
+            self._deliver(message)
+            return
+        self._in_flight.append(message)
+
+    def step_transmission_cycle(self) -> None:
+        """Advance every in-flight message by one hop."""
+        self.clock.advance_transmission()
+        still_flying: Deque[Message] = deque()
+        while self._in_flight:
+            message = self._in_flight.popleft()
+            sender = message.path[message.hops_taken]
+            receiver = message.path[message.hops_taken + 1]
+            if (
+                not self.topology.nodes[sender].alive
+                or not self.topology.nodes[receiver].alive
+            ):
+                message.dropped = True
+                self.stats.charge_drop()
+                self.dropped.append(message)
+                continue
+            if message.hops_taken > 0 and not self._admit_to_queue(sender):
+                message.dropped = True
+                self.stats.charge_drop(queue_drop=True)
+                self.dropped.append(message)
+                continue
+            delivered_hop, attempts = self.links.attempt_hop()
+            self.stats.charge_transmission(
+                sender, message.size_bytes, message.kind,
+                attempts=attempts, receiver=receiver,
+            )
+            if not delivered_hop:
+                message.dropped = True
+                self.stats.charge_drop()
+                self.dropped.append(message)
+                continue
+            message.hops_taken += 1
+            if message.hops_taken >= len(message.path) - 1:
+                message.delivered_cycle = self.clock.total_transmission_cycles
+                self._deliver(message)
+            else:
+                still_flying.append(message)
+        self._in_flight = still_flying
+
+    def run_transmission_cycles(self, count: int) -> None:
+        for _ in range(count):
+            self.step_transmission_cycle()
+
+    def run_until_idle(self, max_cycles: int = 10_000) -> int:
+        """Step until no messages are in flight; returns cycles consumed."""
+        cycles = 0
+        while self._in_flight and cycles < max_cycles:
+            self.step_transmission_cycle()
+            cycles += 1
+        return cycles
+
+    @property
+    def in_flight_count(self) -> int:
+        return len(self._in_flight)
+
+    # ------------------------------------------------------------------
+    # sampling-cycle bookkeeping
+    # ------------------------------------------------------------------
+    def advance_sampling_cycle(self) -> None:
+        """Move to the next sampling cycle and reset per-cycle queue counters."""
+        self.clock.advance_sampling()
+        self._cycle_forwarded.clear()
+
+    def average_delivery_latency(
+        self, kinds: Optional[Iterable[MessageKind]] = None
+    ) -> float:
+        """Mean latency (in transmission cycles) of delivered messages."""
+        wanted = set(kinds) if kinds is not None else None
+        latencies = [
+            message.latency_cycles
+            for message in self.delivered
+            if message.latency_cycles is not None
+            and (wanted is None or message.kind in wanted)
+        ]
+        if not latencies:
+            return 0.0
+        return sum(latencies) / len(latencies)
+
+    # ------------------------------------------------------------------
+    # internals
+    # ------------------------------------------------------------------
+    def _admit_to_queue(self, node_id: int) -> bool:
+        if self.queue_capacity is None:
+            return True
+        if self._cycle_forwarded[node_id] >= self.queue_capacity:
+            return False
+        self._cycle_forwarded[node_id] += 1
+        return True
+
+    def _deliver(self, message: Message) -> None:
+        self.delivered.append(message)
+        destination = message.destination if message.destination is not None else message.current_node()
+        handlers = self._handlers.get(destination)
+        if handlers:
+            for handler in handlers:
+                handler(destination, message)
+        else:
+            for handler in self._default_handlers:
+                handler(destination, message)

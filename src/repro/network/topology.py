@@ -1,0 +1,429 @@
+"""Deployment topologies used in the paper's evaluation.
+
+The paper studies random topologies generated for several deployment
+densities (6, 7, 8 and 13 neighbours on average -- "sparse", "moderate",
+"medium" and "dense"), a grid topology with roughly 7 neighbours, and a
+topology from the Intel Research-Berkeley Lab dataset (Section 4.1,
+Appendix C).  This module generates all of them.
+
+Connectivity is derived from node positions via a disc radio model: two nodes
+are neighbours iff their Euclidean distance is below the radio range.  For
+random topologies the radio range is solved numerically so that the achieved
+average degree matches the requested density, and the deployment is rejected
+and re-sampled if the resulting graph is disconnected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.network.node import Position, SensorNode
+
+#: Named density presets from Appendix C: name -> average neighbour count.
+DENSITY_PRESETS: Dict[str, float] = {
+    "sparse": 6.0,
+    "moderate": 7.0,
+    "medium": 8.0,
+    "dense": 13.0,
+}
+
+
+@dataclass
+class Topology:
+    """An immutable-ish deployment: node set plus symmetric adjacency.
+
+    The base station is always present and is, by convention, the node whose
+    id equals :attr:`base_id`.
+    """
+
+    nodes: Dict[int, SensorNode]
+    adjacency: Dict[int, Set[int]]
+    base_id: int = 0
+    radio_range: float = 0.0
+    name: str = "topology"
+    area: Tuple[float, float] = (0.0, 0.0)
+    metadata: Dict[str, object] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.base_id not in self.nodes:
+            raise ValueError("base_id must refer to an existing node")
+        for node_id, neighbours in self.adjacency.items():
+            if node_id not in self.nodes:
+                raise ValueError(f"adjacency references unknown node {node_id}")
+            for other in neighbours:
+                if other not in self.nodes:
+                    raise ValueError(f"adjacency references unknown node {other}")
+                if node_id not in self.adjacency.get(other, set()):
+                    raise ValueError("adjacency must be symmetric")
+        self.nodes[self.base_id].is_base = True
+
+    # -- basic accessors -----------------------------------------------------
+    @property
+    def node_ids(self) -> List[int]:
+        return sorted(self.nodes)
+
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def base(self) -> SensorNode:
+        return self.nodes[self.base_id]
+
+    def node(self, node_id: int) -> SensorNode:
+        return self.nodes[node_id]
+
+    def neighbors(self, node_id: int, only_alive: bool = True) -> List[int]:
+        """Neighbours of a node, optionally filtering out failed nodes."""
+        neighbours = self.adjacency.get(node_id, set())
+        if not only_alive:
+            return sorted(neighbours)
+        return sorted(n for n in neighbours if self.nodes[n].alive)
+
+    def average_degree(self) -> float:
+        if not self.nodes:
+            return 0.0
+        return sum(len(v) for v in self.adjacency.values()) / len(self.nodes)
+
+    def positions(self) -> Dict[int, Position]:
+        return {node_id: node.position for node_id, node in self.nodes.items()}
+
+    def distance(self, a: int, b: int) -> float:
+        """Euclidean distance in metres between two nodes."""
+        return self.nodes[a].distance_to(self.nodes[b])
+
+    # -- graph algorithms ------------------------------------------------------
+    def is_connected(self, only_alive: bool = True) -> bool:
+        node_ids = [
+            nid for nid, node in self.nodes.items() if node.alive or not only_alive
+        ]
+        if not node_ids:
+            return True
+        seen = {node_ids[0]}
+        frontier = [node_ids[0]]
+        eligible = set(node_ids)
+        while frontier:
+            current = frontier.pop()
+            for neighbour in self.adjacency.get(current, ()):  # symmetric
+                if neighbour in eligible and neighbour not in seen:
+                    seen.add(neighbour)
+                    frontier.append(neighbour)
+        return len(seen) == len(eligible)
+
+    def shortest_hops(self, source: int, only_alive: bool = True) -> Dict[int, int]:
+        """Hop counts from *source* to every reachable node (BFS)."""
+        if source not in self.nodes:
+            raise KeyError(f"unknown node {source}")
+        hops = {source: 0}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[int] = []
+            for current in frontier:
+                for neighbour in self.neighbors(current, only_alive=only_alive):
+                    if neighbour not in hops:
+                        hops[neighbour] = hops[current] + 1
+                        next_frontier.append(neighbour)
+            frontier = next_frontier
+        return hops
+
+    def shortest_path(
+        self, source: int, target: int, only_alive: bool = True
+    ) -> Optional[List[int]]:
+        """A minimum-hop path from *source* to *target*, or ``None``."""
+        if source == target:
+            return [source]
+        parents: Dict[int, int] = {source: source}
+        frontier = [source]
+        while frontier:
+            next_frontier: List[int] = []
+            for current in frontier:
+                for neighbour in self.neighbors(current, only_alive=only_alive):
+                    if neighbour in parents:
+                        continue
+                    parents[neighbour] = current
+                    if neighbour == target:
+                        return _reconstruct(parents, source, target)
+                    next_frontier.append(neighbour)
+            frontier = next_frontier
+        return None
+
+    def hops_between(self, a: int, b: int, only_alive: bool = True) -> Optional[int]:
+        path = self.shortest_path(a, b, only_alive=only_alive)
+        if path is None:
+            return None
+        return len(path) - 1
+
+    # -- mutation (used by mobility and failures) -----------------------------
+    def remove_links_of(self, node_id: int) -> None:
+        for other in list(self.adjacency.get(node_id, ())):
+            self.adjacency[other].discard(node_id)
+        self.adjacency[node_id] = set()
+
+    def rebuild_links_of(self, node_id: int) -> List[int]:
+        """Reconnect a node to every alive node within radio range."""
+        node = self.nodes[node_id]
+        new_neighbours: List[int] = []
+        for other_id, other in self.nodes.items():
+            if other_id == node_id or not other.alive:
+                continue
+            if node.distance_to(other) <= self.radio_range:
+                self.adjacency[node_id].add(other_id)
+                self.adjacency[other_id].add(node_id)
+                new_neighbours.append(other_id)
+        return sorted(new_neighbours)
+
+    def copy(self) -> "Topology":
+        """Deep-enough copy: nodes and adjacency are duplicated."""
+        nodes = {
+            nid: SensorNode(
+                node_id=n.node_id,
+                position=n.position,
+                is_base=n.is_base,
+                static_attributes=dict(n.static_attributes),
+                dynamic_attributes=dict(n.dynamic_attributes),
+                alive=n.alive,
+            )
+            for nid, n in self.nodes.items()
+        }
+        adjacency = {nid: set(neigh) for nid, neigh in self.adjacency.items()}
+        return Topology(
+            nodes=nodes,
+            adjacency=adjacency,
+            base_id=self.base_id,
+            radio_range=self.radio_range,
+            name=self.name,
+            area=self.area,
+            metadata=dict(self.metadata),
+        )
+
+
+def _reconstruct(parents: Dict[int, int], source: int, target: int) -> List[int]:
+    path = [target]
+    while path[-1] != source:
+        path.append(parents[path[-1]])
+    path.reverse()
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Generators
+# ---------------------------------------------------------------------------
+
+def _adjacency_for_range(
+    positions: Dict[int, Position], radio_range: float
+) -> Dict[int, Set[int]]:
+    ids = sorted(positions)
+    coords = np.array([positions[i] for i in ids], dtype=float)
+    adjacency: Dict[int, Set[int]] = {i: set() for i in ids}
+    if len(ids) < 2:
+        return adjacency
+    diffs = coords[:, None, :] - coords[None, :, :]
+    dists = np.sqrt((diffs ** 2).sum(axis=-1))
+    within = dists <= radio_range
+    np.fill_diagonal(within, False)
+    for row, node_id in enumerate(ids):
+        for col in np.nonzero(within[row])[0]:
+            adjacency[node_id].add(ids[int(col)])
+    return adjacency
+
+
+def _average_degree(adjacency: Dict[int, Set[int]]) -> float:
+    if not adjacency:
+        return 0.0
+    return sum(len(v) for v in adjacency.values()) / len(adjacency)
+
+
+def _solve_radio_range(
+    positions: Dict[int, Position], target_degree: float
+) -> Tuple[float, Dict[int, Set[int]]]:
+    """Binary-search the disc radius so the average degree hits the target."""
+    coords = np.array(list(positions.values()), dtype=float)
+    span = float(np.max(coords) - np.min(coords)) if len(coords) else 1.0
+    lo, hi = 1e-6, max(span * 2.0, 1.0)
+    best_adjacency = _adjacency_for_range(positions, hi)
+    for _ in range(48):
+        mid = (lo + hi) / 2.0
+        adjacency = _adjacency_for_range(positions, mid)
+        degree = _average_degree(adjacency)
+        if degree < target_degree:
+            lo = mid
+        else:
+            hi = mid
+            best_adjacency = adjacency
+    return hi, best_adjacency
+
+
+def random_topology(
+    num_nodes: int = 100,
+    average_degree: float = 7.0,
+    area_size: float = 256.0,
+    seed: int = 0,
+    name: Optional[str] = None,
+    max_attempts: int = 50,
+) -> Topology:
+    """Generate a connected random deployment with a target average degree.
+
+    Nodes are placed uniformly at random on an ``area_size x area_size``
+    square (the paper uses a 256 m x 256 m grid for ``pos``).  The base
+    station is the node closest to the centre of the area, mirroring typical
+    deployments where the sink is centrally placed.
+    """
+    if num_nodes < 2:
+        raise ValueError("need at least two nodes")
+    if average_degree <= 0:
+        raise ValueError("average_degree must be positive")
+    rng = np.random.default_rng(seed)
+    for attempt in range(max_attempts):
+        xs = rng.uniform(0.0, area_size, size=num_nodes)
+        ys = rng.uniform(0.0, area_size, size=num_nodes)
+        positions = {i: (float(xs[i]), float(ys[i])) for i in range(num_nodes)}
+        radio_range, adjacency = _solve_radio_range(positions, average_degree)
+        nodes = {
+            i: SensorNode(node_id=i, position=positions[i]) for i in range(num_nodes)
+        }
+        centre = (area_size / 2.0, area_size / 2.0)
+        base_id = min(
+            positions,
+            key=lambda i: (positions[i][0] - centre[0]) ** 2
+            + (positions[i][1] - centre[1]) ** 2,
+        )
+        topology = Topology(
+            nodes=nodes,
+            adjacency=adjacency,
+            base_id=base_id,
+            radio_range=radio_range,
+            name=name or f"random-{average_degree:g}",
+            area=(area_size, area_size),
+            metadata={"seed": seed, "attempt": attempt, "target_degree": average_degree},
+        )
+        if topology.is_connected():
+            return topology
+    raise RuntimeError(
+        f"failed to generate a connected topology after {max_attempts} attempts"
+    )
+
+
+def topology_from_preset(
+    preset: str, num_nodes: int = 100, seed: int = 0, area_size: float = 256.0
+) -> Topology:
+    """Generate one of the paper's named random densities (Appendix C)."""
+    if preset == "grid":
+        return grid_topology(num_nodes=num_nodes, area_size=area_size)
+    if preset == "intel":
+        return intel_lab_topology()
+    if preset not in DENSITY_PRESETS:
+        raise KeyError(
+            f"unknown preset {preset!r}; expected one of "
+            f"{sorted(DENSITY_PRESETS) + ['grid', 'intel']}"
+        )
+    return random_topology(
+        num_nodes=num_nodes,
+        average_degree=DENSITY_PRESETS[preset],
+        area_size=area_size,
+        seed=seed,
+        name=preset,
+    )
+
+
+def grid_topology(
+    num_nodes: int = 100, area_size: float = 256.0, name: str = "grid"
+) -> Topology:
+    """A square grid deployment with 8-connectivity (≈7 neighbours on average).
+
+    The paper's "grid" topology averages about 7 neighbours per node, which an
+    8-connected lattice achieves once boundary effects are taken into account.
+    """
+    side = int(round(num_nodes ** 0.5))
+    if side * side != num_nodes:
+        raise ValueError("grid_topology requires a perfect-square node count")
+    spacing = area_size / max(side - 1, 1)
+    positions: Dict[int, Position] = {}
+    for row in range(side):
+        for col in range(side):
+            node_id = row * side + col
+            positions[node_id] = (col * spacing, row * spacing)
+    # 8-connectivity: diagonal distance is spacing * sqrt(2)
+    radio_range = spacing * 1.5
+    adjacency = _adjacency_for_range(positions, radio_range)
+    nodes = {i: SensorNode(node_id=i, position=positions[i]) for i in positions}
+    centre_id = (side // 2) * side + side // 2
+    topology = Topology(
+        nodes=nodes,
+        adjacency=adjacency,
+        base_id=centre_id,
+        radio_range=radio_range,
+        name=name,
+        area=(area_size, area_size),
+        metadata={"side": side, "spacing": spacing},
+    )
+    return topology
+
+
+# Approximate mote positions (metres) in the Intel Research Berkeley lab.  The
+# real dataset ships 54 motes spread through a ~40 m x 30 m office floor; we
+# reproduce the footprint (perimeter offices plus a central corridor cluster)
+# so that region-based queries see realistic spatial clustering.  See
+# DESIGN.md, substitution table.
+_INTEL_LAB_POSITIONS: Sequence[Tuple[float, float]] = tuple(
+    (float(x), float(y))
+    for x, y in [
+        (21.5, 23.0), (24.5, 20.0), (19.5, 19.0), (22.5, 15.0), (24.5, 12.0),
+        (19.5, 9.0), (22.5, 5.0), (24.5, 2.0), (19.5, 1.0), (16.5, 3.0),
+        (13.5, 1.0), (10.5, 3.0), (7.5, 1.0), (4.5, 3.0), (1.5, 1.0),
+        (0.5, 5.0), (2.5, 8.0), (0.5, 11.0), (2.5, 14.0), (0.5, 17.0),
+        (2.5, 20.0), (0.5, 23.0), (3.5, 25.0), (6.5, 27.0), (9.5, 25.0),
+        (12.5, 27.0), (15.5, 25.0), (18.5, 27.0), (21.5, 27.0), (24.5, 26.0),
+        (27.5, 24.0), (30.5, 26.0), (33.5, 24.0), (36.5, 26.0), (39.5, 24.0),
+        (40.5, 21.0), (38.5, 18.0), (40.5, 15.0), (38.5, 12.0), (40.5, 9.0),
+        (38.5, 6.0), (40.5, 3.0), (37.5, 1.0), (34.5, 3.0), (31.5, 1.0),
+        (28.5, 3.0), (27.5, 7.0), (29.5, 10.0), (27.5, 13.0), (29.5, 16.0),
+        (27.5, 19.0), (13.5, 13.0), (10.5, 16.0), (16.5, 10.0),
+    ]
+)
+
+
+def intel_lab_topology(radio_range: float = 7.5, name: str = "intel") -> Topology:
+    """The Intel-Research-Berkeley-like 54-node lab deployment.
+
+    The radio range default (7.5 m) yields an average degree comparable to the
+    "moderate" random topology, matching the connectivity the paper reports
+    for the Intel dataset deployment.
+    """
+    positions = {i: pos for i, pos in enumerate(_INTEL_LAB_POSITIONS)}
+    adjacency = _adjacency_for_range(positions, radio_range)
+    nodes = {i: SensorNode(node_id=i, position=positions[i]) for i in positions}
+    # The base station sits by the lab entrance near the corridor centre.
+    base_id = 51
+    topology = Topology(
+        nodes=nodes,
+        adjacency=adjacency,
+        base_id=base_id,
+        radio_range=radio_range,
+        name=name,
+        area=(42.0, 28.0),
+        metadata={"dataset": "intel-lab-synthetic"},
+    )
+    if not topology.is_connected():
+        raise RuntimeError("Intel lab topology should be connected; check radio range")
+    return topology
+
+
+def all_standard_topologies(
+    num_nodes: int = 100, seed: int = 0
+) -> Dict[str, Topology]:
+    """The five Appendix-C topologies (dense/medium/moderate/sparse/grid).
+
+    The grid variant needs a perfect-square node count, so it uses the nearest
+    perfect square when *num_nodes* is not one.
+    """
+    grid_side = max(2, int(round(num_nodes ** 0.5)))
+    return {
+        "dense": topology_from_preset("dense", num_nodes=num_nodes, seed=seed),
+        "medium": topology_from_preset("medium", num_nodes=num_nodes, seed=seed),
+        "moderate": topology_from_preset("moderate", num_nodes=num_nodes, seed=seed),
+        "sparse": topology_from_preset("sparse", num_nodes=num_nodes, seed=seed),
+        "grid": grid_topology(num_nodes=grid_side * grid_side),
+    }

@@ -1,0 +1,132 @@
+"""Traffic accounting: the paper's primary evaluation metric.
+
+Every figure in the evaluation reports one of three quantities:
+
+* total traffic across the network (bytes on motes, messages on mesh),
+* traffic at the base station (congestion at the sink),
+* per-node load, in particular the most loaded nodes (Figure 5) and the
+  maximum node load (Figure 13, Figure 16b).
+
+:class:`TrafficStats` collects all of them.  :class:`TrafficAccounting`
+selects whether a "unit" is a byte (mote mode) or a message (mesh mode,
+Appendix F).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, List, Optional, Tuple
+
+from repro.network.message import MessageKind
+
+
+class TrafficAccounting(Enum):
+    """What a traffic unit means."""
+
+    BYTES = "bytes"
+    MESSAGES = "messages"
+
+
+@dataclass
+class TrafficStats:
+    """Per-node and aggregate transmission counters."""
+
+    accounting: TrafficAccounting = TrafficAccounting.BYTES
+    transmitted: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
+    received: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
+    by_kind: Dict[MessageKind, float] = field(default_factory=lambda: defaultdict(float))
+    messages_sent: int = 0
+    messages_dropped: int = 0
+    queue_drops: int = 0
+
+    def charge_transmission(
+        self,
+        node_id: int,
+        size_bytes: int,
+        kind: MessageKind,
+        attempts: int = 1,
+        receiver: Optional[int] = None,
+    ) -> None:
+        """Record *attempts* transmissions of a message by *node_id*."""
+        units = self._units(size_bytes) * attempts
+        self.transmitted[node_id] += units
+        self.by_kind[kind] += units
+        self.messages_sent += attempts
+        if receiver is not None:
+            self.received[receiver] += self._units(size_bytes)
+
+    def charge_drop(self, queue_drop: bool = False) -> None:
+        self.messages_dropped += 1
+        if queue_drop:
+            self.queue_drops += 1
+
+    def _units(self, size_bytes: int) -> float:
+        if self.accounting is TrafficAccounting.MESSAGES:
+            return 1.0
+        return float(size_bytes)
+
+    # -- aggregates -----------------------------------------------------------
+    def total(self) -> float:
+        """Total traffic transmitted across all nodes."""
+        return sum(self.transmitted.values())
+
+    def at_node(self, node_id: int) -> float:
+        """Traffic transmitted *and* received by one node (its radio load)."""
+        return self.transmitted.get(node_id, 0.0) + self.received.get(node_id, 0.0)
+
+    def at_base(self, base_id: int) -> float:
+        return self.at_node(base_id)
+
+    def max_node_load(self, exclude: Tuple[int, ...] = ()) -> float:
+        node_ids = set(self.transmitted) | set(self.received)
+        loads = [self.at_node(n) for n in node_ids if n not in exclude]
+        return max(loads, default=0.0)
+
+    def top_loaded_nodes(self, k: int = 15) -> List[Tuple[int, float]]:
+        """The *k* most loaded nodes, ordered by decreasing load (Figure 5)."""
+        node_ids = set(self.transmitted) | set(self.received)
+        ranked = sorted(
+            ((node_id, self.at_node(node_id)) for node_id in node_ids),
+            key=lambda item: item[1],
+            reverse=True,
+        )
+        return ranked[:k]
+
+    def traffic_by_kind(self) -> Dict[MessageKind, float]:
+        return dict(self.by_kind)
+
+    def merge(self, other: "TrafficStats") -> "TrafficStats":
+        """Combine two stats objects (e.g. initiation + computation phases)."""
+        if other.accounting is not self.accounting:
+            raise ValueError("cannot merge stats with different accounting units")
+        merged = TrafficStats(accounting=self.accounting)
+        for source in (self, other):
+            for node_id, units in source.transmitted.items():
+                merged.transmitted[node_id] += units
+            for node_id, units in source.received.items():
+                merged.received[node_id] += units
+            for kind, units in source.by_kind.items():
+                merged.by_kind[kind] += units
+            merged.messages_sent += source.messages_sent
+            merged.messages_dropped += source.messages_dropped
+            merged.queue_drops += source.queue_drops
+        return merged
+
+    def reset(self) -> None:
+        self.transmitted.clear()
+        self.received.clear()
+        self.by_kind.clear()
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.queue_drops = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A flat summary used by the experiment harness."""
+        return {
+            "total": self.total(),
+            "messages_sent": float(self.messages_sent),
+            "messages_dropped": float(self.messages_dropped),
+            "queue_drops": float(self.queue_drops),
+        }

@@ -1,0 +1,286 @@
+"""Query preprocessing: CNF classification and routing-predicate matching.
+
+When a query is posed at the base station, the preprocessor separates the
+predicates into selections and joins, then each group into static and dynamic
+subgroups.  Each static join predicate is fed into a pattern matcher which,
+given the collection of summaries built on static attributes, decides whether
+the predicate is suitable for content routing; the remaining ("secondary")
+join predicates are evaluated after the routing stage (Appendix B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.query.cnf import to_cnf
+from repro.query.expressions import (
+    AttributeRef,
+    BinaryOp,
+    Bindings,
+    Comparison,
+    Expression,
+    FunctionCall,
+    Literal,
+    Predicate,
+)
+from repro.query.query import JoinQuery
+from repro.query.schema import RelationSchema
+
+
+# ---------------------------------------------------------------------------
+# routing predicates
+# ---------------------------------------------------------------------------
+
+@dataclass(frozen=True)
+class EqualityRouting:
+    """A static equijoin clause usable for value-indexed content routing.
+
+    ``search_alias`` nodes compute ``required_value_expr`` over their own
+    static attributes and search for ``indexed_alias`` nodes whose
+    ``indexed_attribute`` equals that value.
+    """
+
+    clause: Comparison
+    search_alias: str
+    indexed_alias: str
+    indexed_attribute: str
+    required_value_expr: Expression
+
+    def required_value(self, search_attrs: Dict[str, Any]) -> Any:
+        return self.required_value_expr.evaluate({self.search_alias: search_attrs})
+
+
+@dataclass(frozen=True)
+class RegionRouting:
+    """A static region clause: targets within *radius* of the searcher."""
+
+    clause: Comparison
+    search_alias: str
+    indexed_alias: str
+    radius: float
+
+
+RoutingPredicate = Any  # EqualityRouting | RegionRouting (kept simple for 3.9)
+
+
+# ---------------------------------------------------------------------------
+# analysis result
+# ---------------------------------------------------------------------------
+
+@dataclass
+class QueryAnalysis:
+    """The classified clauses of one query."""
+
+    query: JoinQuery
+    static_selections: Dict[str, List[Predicate]] = field(default_factory=dict)
+    dynamic_selections: Dict[str, List[Predicate]] = field(default_factory=dict)
+    static_join_clauses: List[Predicate] = field(default_factory=list)
+    dynamic_join_clauses: List[Predicate] = field(default_factory=list)
+    routing_predicate: Optional[RoutingPredicate] = None
+    secondary_static_join_clauses: List[Predicate] = field(default_factory=list)
+
+    # -- evaluation helpers -------------------------------------------------
+    def node_eligible(self, alias: str, static_attrs: Dict[str, Any]) -> bool:
+        """Pre-evaluate static selections: may this node produce for *alias*?"""
+        clauses = self.static_selections.get(alias, [])
+        bindings: Bindings = {alias: static_attrs}
+        try:
+            return all(clause.evaluate(bindings) for clause in clauses)
+        except KeyError:
+            return False
+
+    def producer_sends(self, alias: str, attrs: Dict[str, Any]) -> bool:
+        """Evaluate dynamic selections for one sampling cycle."""
+        clauses = self.dynamic_selections.get(alias, [])
+        bindings: Bindings = {alias: attrs}
+        return all(clause.evaluate(bindings) for clause in clauses)
+
+    def pair_joins_statically(
+        self, source_attrs: Dict[str, Any], target_attrs: Dict[str, Any]
+    ) -> bool:
+        """Pre-evaluate every static join clause for an (s, t) pair."""
+        bindings: Bindings = {
+            self.query.source.alias: source_attrs,
+            self.query.target.alias: target_attrs,
+        }
+        return all(clause.evaluate(bindings) for clause in self.static_join_clauses)
+
+    def tuples_join(
+        self, source_attrs: Dict[str, Any], target_attrs: Dict[str, Any]
+    ) -> bool:
+        """Evaluate the dynamic join clauses for a pair of tuples."""
+        bindings: Bindings = {
+            self.query.source.alias: source_attrs,
+            self.query.target.alias: target_attrs,
+        }
+        return all(clause.evaluate(bindings) for clause in self.dynamic_join_clauses)
+
+    def has_dynamic_join(self) -> bool:
+        return bool(self.dynamic_join_clauses)
+
+
+# ---------------------------------------------------------------------------
+# clause classification
+# ---------------------------------------------------------------------------
+
+def _clause_is_static(clause: Predicate, schemas: Dict[str, RelationSchema]) -> bool:
+    for relation, attribute in clause.referenced_attributes():
+        schema = schemas.get(relation)
+        if schema is None or not schema.has_attribute(attribute):
+            return False
+        if not schema.is_static(attribute):
+            return False
+    return True
+
+
+def _single_relation(clause: Predicate) -> Optional[str]:
+    relations = clause.relations()
+    if len(relations) == 1:
+        return next(iter(relations))
+    return None
+
+
+def _invert_to_attribute(
+    expr: Expression, alias: str
+) -> Optional[Tuple[str, Expression]]:
+    """If *expr* is ``alias.attr`` possibly offset by a literal, invert it.
+
+    Returns ``(attribute, inverse)`` such that ``alias.attr == inverse(other
+    side)`` -- i.e. the expression the *other* side must equal, rewritten so
+    it can be computed without alias's attributes.  ``inverse`` is returned as
+    a transformation applied later; here we only support the identity and
+    ``attr +/- literal`` forms, which cover the paper's workload
+    (e.g. ``S.x = T.y + 5``).
+    """
+    if isinstance(expr, AttributeRef) and expr.relation == alias:
+        return expr.attribute, Literal(0)
+    if isinstance(expr, BinaryOp) and expr.op in {"+", "-"}:
+        left, right = expr.left, expr.right
+        if (
+            isinstance(left, AttributeRef)
+            and left.relation == alias
+            and isinstance(right, Literal)
+        ):
+            # alias.attr + c  ->  offset = -c for '+', +c for '-'
+            offset = -right.value if expr.op == "+" else right.value
+            return left.attribute, Literal(offset)
+        if (
+            expr.op == "+"
+            and isinstance(right, AttributeRef)
+            and right.relation == alias
+            and isinstance(left, Literal)
+        ):
+            return right.attribute, Literal(-left.value)
+    return None
+
+
+def _match_equality_routing(
+    clause: Comparison, source_alias: str, target_alias: str
+) -> Optional[EqualityRouting]:
+    """Try to use an equality clause for value-indexed routing."""
+    if clause.op != "=":
+        return None
+    sides = [clause.left, clause.right]
+    for search_side, indexed_side in (sides, list(reversed(sides))):
+        search_relations = search_side.relations()
+        indexed_relations = indexed_side.relations()
+        if len(search_relations) != 1 or len(indexed_relations) != 1:
+            continue
+        search_alias = next(iter(search_relations))
+        indexed_alias = next(iter(indexed_relations))
+        if search_alias == indexed_alias:
+            continue
+        inverted = _invert_to_attribute(indexed_side, indexed_alias)
+        if inverted is None:
+            continue
+        attribute, offset = inverted
+        # required value = search_side + offset
+        required = (
+            search_side if offset.value == 0
+            else BinaryOp("+", search_side, offset)
+        )
+        return EqualityRouting(
+            clause=clause,
+            search_alias=search_alias,
+            indexed_alias=indexed_alias,
+            indexed_attribute=attribute,
+            required_value_expr=required,
+        )
+    return None
+
+
+def _match_region_routing(
+    clause: Comparison, source_alias: str, target_alias: str
+) -> Optional[RegionRouting]:
+    """Match ``dist(S.pos, T.pos) < radius`` style clauses."""
+    if clause.op not in {"<", "<="}:
+        return None
+    if not isinstance(clause.left, FunctionCall) or clause.left.name != "dist":
+        return None
+    if not isinstance(clause.right, Literal):
+        return None
+    relations = clause.left.relations()
+    if relations != {source_alias, target_alias}:
+        return None
+    return RegionRouting(
+        clause=clause,
+        search_alias=source_alias,
+        indexed_alias=target_alias,
+        radius=float(clause.right.value),
+    )
+
+
+def analyze_query(query: JoinQuery) -> QueryAnalysis:
+    """Classify the query's CNF clauses and pick a routing predicate."""
+    schemas = {
+        query.source.alias: query.source.schema,
+        query.target.alias: query.target.schema,
+    }
+    analysis = QueryAnalysis(
+        query=query,
+        static_selections={alias: [] for alias in query.aliases},
+        dynamic_selections={alias: [] for alias in query.aliases},
+    )
+    for clause in to_cnf(query.where):
+        relations = clause.relations()
+        if not relations:
+            # Constant clause; applies to both relations as a dynamic filter.
+            for alias in query.aliases:
+                analysis.dynamic_selections[alias].append(clause)
+            continue
+        single = _single_relation(clause)
+        if single is not None:
+            if single not in schemas:
+                raise KeyError(
+                    f"clause {clause} references unknown relation {single!r}"
+                )
+            bucket = (
+                analysis.static_selections
+                if _clause_is_static(clause, schemas)
+                else analysis.dynamic_selections
+            )
+            bucket[single].append(clause)
+            continue
+        # Join clause.
+        if _clause_is_static(clause, schemas):
+            analysis.static_join_clauses.append(clause)
+        else:
+            analysis.dynamic_join_clauses.append(clause)
+
+    # Pattern-match a primary routing predicate among the static join clauses.
+    for clause in analysis.static_join_clauses:
+        if not isinstance(clause, Comparison):
+            continue
+        match = _match_equality_routing(clause, *query.aliases)
+        if match is None:
+            match = _match_region_routing(clause, *query.aliases)
+        if match is not None:
+            analysis.routing_predicate = match
+            analysis.secondary_static_join_clauses = [
+                c for c in analysis.static_join_clauses if c is not clause
+            ]
+            break
+    else:
+        analysis.secondary_static_join_clauses = list(analysis.static_join_clauses)
+    return analysis

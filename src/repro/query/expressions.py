@@ -1,0 +1,295 @@
+"""Predicate and expression AST.
+
+Selection and join predicates can include standard comparisons and Boolean
+operations, the standard arithmetic operators and a handful of utility
+functions such as hash functions (Appendix B).  The AST here is deliberately
+small and explicit: expressions evaluate against a *binding* mapping relation
+aliases (``"S"``, ``"T"``) to attribute dictionaries, and predicates report
+which (relation, attribute) pairs they reference so the analyzer can separate
+static from dynamic clauses.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+from typing import Any, Dict, FrozenSet, Sequence, Tuple
+
+Bindings = Dict[str, Dict[str, Any]]
+AttrRef = Tuple[str, str]
+
+
+def hash16(value: Any) -> int:
+    """Deterministic 16-bit hash used by the ``hash()`` query function.
+
+    The mote implementation hashes 16-bit integers; we use a Knuth-style
+    multiplicative hash so results are stable across processes and platforms
+    (Python's built-in ``hash`` is salted).
+    """
+    if isinstance(value, float) and value.is_integer():
+        value = int(value)
+    if not isinstance(value, int):
+        value = sum(bytearray(str(value).encode("utf-8")))
+    return ((value * 40503) ^ (value >> 7)) & 0xFFFF
+
+
+def _euclidean(a: Sequence[float], b: Sequence[float]) -> float:
+    return math.dist(tuple(float(x) for x in a), tuple(float(x) for x in b))
+
+
+_FUNCTIONS = {
+    "hash": lambda args: hash16(args[0]),
+    "abs": lambda args: abs(args[0]),
+    "min": lambda args: min(args),
+    "max": lambda args: max(args),
+    "dist": lambda args: _euclidean(args[0], args[1]),
+}
+
+
+class Expression(ABC):
+    """A scalar-valued expression."""
+
+    @abstractmethod
+    def evaluate(self, bindings: Bindings) -> Any:
+        """Evaluate against relation-alias -> attribute-dict bindings."""
+
+    @abstractmethod
+    def referenced_attributes(self) -> FrozenSet[AttrRef]:
+        """Every (relation alias, attribute name) pair the expression reads."""
+
+    def relations(self) -> FrozenSet[str]:
+        return frozenset(rel for rel, _ in self.referenced_attributes())
+
+
+class Predicate(Expression):
+    """A Boolean-valued expression."""
+
+
+@dataclass(frozen=True)
+class Literal(Expression):
+    value: Any
+
+    def evaluate(self, bindings: Bindings) -> Any:
+        return self.value
+
+    def referenced_attributes(self) -> FrozenSet[AttrRef]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return repr(self.value)
+
+
+@dataclass(frozen=True)
+class AttributeRef(Expression):
+    relation: str
+    attribute: str
+
+    def evaluate(self, bindings: Bindings) -> Any:
+        try:
+            relation_binding = bindings[self.relation]
+        except KeyError:
+            raise KeyError(f"no binding for relation {self.relation!r}") from None
+        try:
+            return relation_binding[self.attribute]
+        except KeyError:
+            raise KeyError(
+                f"relation {self.relation!r} binding has no attribute {self.attribute!r}"
+            ) from None
+
+    def referenced_attributes(self) -> FrozenSet[AttrRef]:
+        return frozenset({(self.relation, self.attribute)})
+
+    def __str__(self) -> str:
+        return f"{self.relation}.{self.attribute}"
+
+
+_ARITHMETIC = {
+    "+": lambda a, b: a + b,
+    "-": lambda a, b: a - b,
+    "*": lambda a, b: a * b,
+    "/": lambda a, b: a / b,
+    "%": lambda a, b: a % b,
+}
+
+
+@dataclass(frozen=True)
+class BinaryOp(Expression):
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _ARITHMETIC:
+            raise ValueError(f"unsupported arithmetic operator {self.op!r}")
+
+    def evaluate(self, bindings: Bindings) -> Any:
+        return _ARITHMETIC[self.op](
+            self.left.evaluate(bindings), self.right.evaluate(bindings)
+        )
+
+    def referenced_attributes(self) -> FrozenSet[AttrRef]:
+        return self.left.referenced_attributes() | self.right.referenced_attributes()
+
+    def __str__(self) -> str:
+        return f"({self.left} {self.op} {self.right})"
+
+
+@dataclass(frozen=True)
+class FunctionCall(Expression):
+    name: str
+    args: Tuple[Expression, ...]
+
+    def __post_init__(self) -> None:
+        if self.name not in _FUNCTIONS:
+            raise ValueError(f"unsupported function {self.name!r}")
+
+    def evaluate(self, bindings: Bindings) -> Any:
+        return _FUNCTIONS[self.name]([arg.evaluate(bindings) for arg in self.args])
+
+    def referenced_attributes(self) -> FrozenSet[AttrRef]:
+        refs: FrozenSet[AttrRef] = frozenset()
+        for arg in self.args:
+            refs |= arg.referenced_attributes()
+        return refs
+
+    def __str__(self) -> str:
+        return f"{self.name}({', '.join(str(a) for a in self.args)})"
+
+
+_COMPARISONS = {
+    "=": lambda a, b: a == b,
+    "!=": lambda a, b: a != b,
+    "<": lambda a, b: a < b,
+    "<=": lambda a, b: a <= b,
+    ">": lambda a, b: a > b,
+    ">=": lambda a, b: a >= b,
+}
+
+
+@dataclass(frozen=True)
+class Comparison(Predicate):
+    op: str
+    left: Expression
+    right: Expression
+
+    def __post_init__(self) -> None:
+        if self.op not in _COMPARISONS:
+            raise ValueError(f"unsupported comparison operator {self.op!r}")
+
+    def evaluate(self, bindings: Bindings) -> bool:
+        return bool(
+            _COMPARISONS[self.op](
+                self.left.evaluate(bindings), self.right.evaluate(bindings)
+            )
+        )
+
+    def referenced_attributes(self) -> FrozenSet[AttrRef]:
+        return self.left.referenced_attributes() | self.right.referenced_attributes()
+
+    def negated(self) -> "Comparison":
+        opposite = {"=": "!=", "!=": "=", "<": ">=", ">=": "<", ">": "<=", "<=": ">"}
+        return Comparison(opposite[self.op], self.left, self.right)
+
+    def __str__(self) -> str:
+        return f"{self.left} {self.op} {self.right}"
+
+
+@dataclass(frozen=True)
+class And(Predicate):
+    operands: Tuple[Predicate, ...]
+
+    def __init__(self, *operands: Predicate) -> None:
+        flattened = []
+        for operand in operands:
+            if isinstance(operand, And):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        object.__setattr__(self, "operands", tuple(flattened))
+
+    def evaluate(self, bindings: Bindings) -> bool:
+        return all(op.evaluate(bindings) for op in self.operands)
+
+    def referenced_attributes(self) -> FrozenSet[AttrRef]:
+        refs: FrozenSet[AttrRef] = frozenset()
+        for operand in self.operands:
+            refs |= operand.referenced_attributes()
+        return refs
+
+    def __str__(self) -> str:
+        return "(" + " AND ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Or(Predicate):
+    operands: Tuple[Predicate, ...]
+
+    def __init__(self, *operands: Predicate) -> None:
+        flattened = []
+        for operand in operands:
+            if isinstance(operand, Or):
+                flattened.extend(operand.operands)
+            else:
+                flattened.append(operand)
+        object.__setattr__(self, "operands", tuple(flattened))
+
+    def evaluate(self, bindings: Bindings) -> bool:
+        return any(op.evaluate(bindings) for op in self.operands)
+
+    def referenced_attributes(self) -> FrozenSet[AttrRef]:
+        refs: FrozenSet[AttrRef] = frozenset()
+        for operand in self.operands:
+            refs |= operand.referenced_attributes()
+        return refs
+
+    def __str__(self) -> str:
+        return "(" + " OR ".join(str(op) for op in self.operands) + ")"
+
+
+@dataclass(frozen=True)
+class Not(Predicate):
+    operand: Predicate
+
+    def evaluate(self, bindings: Bindings) -> bool:
+        return not self.operand.evaluate(bindings)
+
+    def referenced_attributes(self) -> FrozenSet[AttrRef]:
+        return self.operand.referenced_attributes()
+
+    def __str__(self) -> str:
+        return f"(NOT {self.operand})"
+
+
+@dataclass(frozen=True)
+class BoolLiteral(Predicate):
+    value: bool
+
+    def evaluate(self, bindings: Bindings) -> bool:
+        return self.value
+
+    def referenced_attributes(self) -> FrozenSet[AttrRef]:
+        return frozenset()
+
+    def __str__(self) -> str:
+        return "TRUE" if self.value else "FALSE"
+
+
+TRUE = BoolLiteral(True)
+FALSE = BoolLiteral(False)
+
+
+def evaluate(expression: Expression, bindings: Bindings) -> Any:
+    """Functional entry point mirroring ``expression.evaluate(bindings)``."""
+    return expression.evaluate(bindings)
+
+
+def references_only_relation(predicate: Expression, relation: str) -> bool:
+    """True if the predicate reads attributes of a single given relation."""
+    relations = predicate.relations()
+    return relations <= {relation}
+
+
+def is_join_predicate(predicate: Expression) -> bool:
+    """True if the predicate reads attributes from two or more relations."""
+    return len(predicate.relations()) >= 2

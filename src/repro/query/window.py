@@ -1,0 +1,140 @@
+"""Tuple-based join windows.
+
+The join query specifies a window over each source stream, which bounds the
+buffer maintained per producer: each newly arriving tuple is joined against
+the contents of the opposite buffer, then enqueued into its own window,
+evicting expired tuples (Section 2).  Windows are partitioned per producer
+(grouping attribute = producer id) so no global window coordination across
+nodes is required.
+
+The window state can be exported and re-imported so that an adaptive
+re-optimization can hand a join window over to a new join node without losing
+results (Section 6).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Deque, Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class WindowedTuple:
+    """One buffered reading from a producer."""
+
+    producer_id: int
+    cycle: int
+    values: Dict[str, Any]
+
+    def value(self, name: str) -> Any:
+        return self.values[name]
+
+
+class TupleWindow:
+    """A bounded FIFO window of :class:`WindowedTuple`."""
+
+    def __init__(self, size: int) -> None:
+        if size < 1:
+            raise ValueError("window size must be at least 1")
+        self.size = size
+        self._tuples: Deque[WindowedTuple] = deque()
+
+    def insert(self, item: WindowedTuple) -> Optional[WindowedTuple]:
+        """Add a tuple; returns the evicted tuple if the window was full."""
+        evicted = None
+        if len(self._tuples) >= self.size:
+            evicted = self._tuples.popleft()
+        self._tuples.append(item)
+        return evicted
+
+    def contents(self) -> List[WindowedTuple]:
+        return list(self._tuples)
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    def __iter__(self):
+        return iter(self._tuples)
+
+    def is_empty(self) -> bool:
+        return not self._tuples
+
+    def clear(self) -> None:
+        self._tuples.clear()
+
+    def export_state(self) -> List[WindowedTuple]:
+        """Snapshot used when transferring the window to a new join node."""
+        return list(self._tuples)
+
+    def import_state(self, tuples: List[WindowedTuple]) -> None:
+        self._tuples = deque(tuples[-self.size:])
+
+
+JoinPredicate = Callable[[Dict[str, Any], Dict[str, Any]], bool]
+
+
+@dataclass
+class JoinState:
+    """Windowed-join state kept by a join node for one (s, t) producer pair.
+
+    ``source_window`` buffers tuples from the source producer and
+    ``target_window`` from the target producer.  ``probe`` implements the
+    push-based windowed join: a new tuple from one side is joined against the
+    buffered window of the other side, then inserted into its own window.
+    """
+
+    window_size: int
+    source_id: int
+    target_id: int
+    source_window: TupleWindow = field(init=False)
+    target_window: TupleWindow = field(init=False)
+    results_produced: int = 0
+
+    def __post_init__(self) -> None:
+        self.source_window = TupleWindow(self.window_size)
+        self.target_window = TupleWindow(self.window_size)
+
+    def probe(
+        self,
+        from_source: bool,
+        new_tuple: WindowedTuple,
+        join_predicate: JoinPredicate,
+    ) -> List[Tuple[WindowedTuple, WindowedTuple]]:
+        """Join *new_tuple* against the opposite window and buffer it.
+
+        Returns the list of (source_tuple, target_tuple) result pairs.
+        """
+        own = self.source_window if from_source else self.target_window
+        other = self.target_window if from_source else self.source_window
+        results: List[Tuple[WindowedTuple, WindowedTuple]] = []
+        for buffered in other:
+            source_values, target_values = (
+                (new_tuple.values, buffered.values)
+                if from_source
+                else (buffered.values, new_tuple.values)
+            )
+            if join_predicate(source_values, target_values):
+                pair = (new_tuple, buffered) if from_source else (buffered, new_tuple)
+                results.append(pair)
+        own.insert(new_tuple)
+        self.results_produced += len(results)
+        return results
+
+    # -- migration support (Section 6) -------------------------------------
+    def export_state(self) -> Dict[str, List[WindowedTuple]]:
+        return {
+            "source": self.source_window.export_state(),
+            "target": self.target_window.export_state(),
+        }
+
+    def import_state(self, state: Dict[str, List[WindowedTuple]]) -> None:
+        self.source_window.import_state(state.get("source", []))
+        self.target_window.import_state(state.get("target", []))
+
+    def buffered_tuple_count(self) -> int:
+        return len(self.source_window) + len(self.target_window)
+
+    def storage_bytes(self, bytes_per_tuple: int = 4) -> int:
+        """Approximate RAM used by the pair's windows (storage cost, Table 3)."""
+        return self.buffered_tuple_count() * bytes_per_tuple

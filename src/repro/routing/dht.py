@@ -1,0 +1,101 @@
+"""Distributed-hash-table routing for 802.11 mesh networks.
+
+On mesh networks the paper replaces GHT with a DHT (Pastry-like [14]): the
+home node for a key is the node whose hashed identifier is closest to the
+hashed key on a circular id space.  Messages then travel over the physical
+multi-hop network to that home node.  Appendix C notes the consequences we
+reproduce: DHT paths are slightly shorter than GPSR's (no perimeter-mode
+boundary walks) but the hash placement still ignores locality, so maximum
+node load increases.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.network.message import MessageKind, MessageSizes
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import Topology
+from repro.routing.paths import concatenate_paths, strip_cycles
+
+_ID_SPACE = 1 << 32
+
+
+def _stable_hash(value: Any, salt: int = 0) -> int:
+    data = repr(value).encode("utf-8")
+    acc = 2166136261 ^ (salt * 0x85EBCA6B & (_ID_SPACE - 1))
+    for byte in data:
+        acc ^= byte
+        acc = (acc * 16777619) % _ID_SPACE
+    return acc
+
+
+def _ring_distance(a: int, b: int) -> int:
+    diff = abs(a - b)
+    return min(diff, _ID_SPACE - diff)
+
+
+class DHTSubstrate:
+    """Hash-space routing over the physical mesh topology."""
+
+    def __init__(self, topology: Topology, sizes: Optional[MessageSizes] = None,
+                 salt: int = 0) -> None:
+        self.topology = topology
+        self.sizes = sizes or MessageSizes()
+        self.salt = salt
+        self._node_hashes: Dict[int, int] = {
+            node_id: _stable_hash(("node", node_id), salt)
+            for node_id in topology.node_ids
+        }
+
+    # ------------------------------------------------------------------
+    def key_hash(self, key: Any) -> int:
+        return _stable_hash(("key", key), self.salt)
+
+    def home_node(self, key: Any) -> int:
+        """Alive node whose hashed id is nearest the hashed key on the ring."""
+        key_hash = self.key_hash(key)
+        candidates = [
+            node_id for node_id, node in self.topology.nodes.items() if node.alive
+        ]
+        if not candidates:
+            raise RuntimeError("no alive nodes")
+        return min(
+            candidates,
+            key=lambda nid: (_ring_distance(self._node_hashes[nid], key_hash), nid),
+        )
+
+    def route(self, source: int, key: Any) -> List[int]:
+        """Physical route from *source* to the key's home node."""
+        home = self.home_node(key)
+        path = self.topology.shortest_path(source, home)
+        if path is None:
+            raise ValueError(f"home node {home} unreachable from {source}")
+        return path
+
+    def rendezvous_route(self, source: int, target: int, key: Any) -> List[int]:
+        """Path from *source* to *target* via the key's home node."""
+        to_home = self.route(source, key)
+        from_home = list(reversed(self.route(target, key)))
+        return strip_cycles(concatenate_paths(to_home, from_home))
+
+    # ------------------------------------------------------------------
+    def charge_route(
+        self,
+        simulator: NetworkSimulator,
+        path: List[int],
+        size_bytes: Optional[int] = None,
+        kind: MessageKind = MessageKind.DATA,
+    ) -> bool:
+        return simulator.transfer(
+            path, size_bytes or self.sizes.data_tuple(), kind
+        )
+
+    def paths_for_pairs(
+        self, pairs, key_of=None
+    ) -> Dict[Tuple[int, int], List[int]]:
+        out: Dict[Tuple[int, int], List[int]] = {}
+        for source, target in pairs:
+            key = key_of((source, target)) if key_of else (source, target)
+            out[(source, target)] = self.rendezvous_route(source, target, key)
+        return out

@@ -1,0 +1,120 @@
+"""Path-vector utilities and path-quality metrics.
+
+Exploration messages carry path vectors that record visited nodes; when the
+target is reached the vector is reversed and used to route the reply and all
+subsequent data messages (Section 3).  Path vectors are delta-encoded for
+compression (Section 3.1).  This module also computes the path-quality
+metrics of Appendix C (Figures 16-18): average path length and the maximum
+number of paths loaded onto any single node.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def reverse_path(path: Sequence[int]) -> List[int]:
+    """Reverse a path vector (assumes symmetric links, as the paper does)."""
+    return list(reversed(path))
+
+
+def concatenate_paths(first: Sequence[int], second: Sequence[int]) -> List[int]:
+    """Join two paths where ``first`` ends at the node ``second`` starts at."""
+    if not first:
+        return list(second)
+    if not second:
+        return list(first)
+    if first[-1] != second[0]:
+        raise ValueError(
+            f"paths do not share an endpoint: {first[-1]} != {second[0]}"
+        )
+    return list(first) + list(second[1:])
+
+
+def strip_cycles(path: Sequence[int]) -> List[int]:
+    """Remove loops from a path, keeping the first occurrence of each node."""
+    seen: Dict[int, int] = {}
+    out: List[int] = []
+    for node in path:
+        if node in seen:
+            # Cut back to the previous occurrence.
+            out = out[: seen[node] + 1]
+        else:
+            seen[node] = len(out)
+            out.append(node)
+        # Rebuild the index map after a cut.
+        seen = {n: i for i, n in enumerate(out)}
+    return out
+
+
+def compress_path(path: Sequence[int]) -> Tuple[int, List[int]]:
+    """Delta-encode a path vector.
+
+    Returns ``(first, deltas)`` where ``deltas[i] = path[i+1] - path[i]``.
+    Used only for size accounting: small deltas fit in one byte each.
+    """
+    if not path:
+        return (0, [])
+    deltas = [path[i + 1] - path[i] for i in range(len(path) - 1)]
+    return (path[0], deltas)
+
+
+def compressed_size_bytes(path: Sequence[int]) -> int:
+    """Bytes needed for a delta-encoded path vector (2-byte head, 1-byte deltas
+    when they fit in a signed byte, otherwise 2 bytes)."""
+    if not path:
+        return 0
+    first, deltas = compress_path(path)
+    size = 2
+    for delta in deltas:
+        size += 1 if -128 <= delta <= 127 else 2
+    return size
+
+
+@dataclass(frozen=True)
+class PathQuality:
+    """Aggregate path-quality metrics over a set of source/target pairs."""
+
+    average_path_length: float
+    max_node_load: int
+    num_pairs: int
+    unreachable_pairs: int
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "average_path_length": self.average_path_length,
+            "max_node_load": float(self.max_node_load),
+            "num_pairs": float(self.num_pairs),
+            "unreachable_pairs": float(self.unreachable_pairs),
+        }
+
+
+def path_load_profile(paths: Iterable[Sequence[int]]) -> Dict[int, int]:
+    """Number of paths traversing each node (endpoints included)."""
+    load: Dict[int, int] = defaultdict(int)
+    for path in paths:
+        for node in path:
+            load[node] += 1
+    return dict(load)
+
+
+def path_quality_for_pairs(
+    paths_by_pair: Dict[Tuple[int, int], Sequence[int]],
+    total_pairs: int = 0,
+) -> PathQuality:
+    """Compute Figure 16/17-style metrics from a pair -> path mapping."""
+    paths = list(paths_by_pair.values())
+    lengths = [len(p) - 1 for p in paths if p]
+    average = sum(lengths) / len(lengths) if lengths else 0.0
+    load = path_load_profile(p for p in paths if p)
+    max_load = max(load.values(), default=0)
+    found = len(lengths)
+    total = total_pairs if total_pairs else len(paths_by_pair)
+    return PathQuality(
+        average_path_length=average,
+        max_node_load=max_load,
+        num_pairs=total,
+        unreachable_pairs=max(0, total - found),
+    )

@@ -1,0 +1,195 @@
+"""Standard routing-tree construction and tree routing.
+
+This is the substrate every other strategy builds on: the base station floods
+a tree-construction beacon, each node picks a parent one hop closer to the
+root (the algorithm of Madden et al. [10]), and every node afterwards knows
+its depth, parent and children (Section 2.1, Appendix C).  Messages to the
+root simply climb parents; messages between arbitrary nodes climb to the
+lowest common ancestor and descend.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional, Set
+
+from repro.network.message import MessageKind
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import Topology
+
+
+class RoutingTree:
+    """A rooted spanning tree over the alive nodes of a topology."""
+
+    def __init__(self, topology: Topology, root: Optional[int] = None,
+                 tie_break_seed: int = 0) -> None:
+        self.topology = topology
+        self.root = topology.base_id if root is None else root
+        if self.root not in topology.nodes:
+            raise KeyError(f"unknown root {self.root}")
+        self.tie_break_seed = tie_break_seed
+        self.parent: Dict[int, Optional[int]] = {}
+        self.children: Dict[int, List[int]] = {}
+        self.depth: Dict[int, int] = {}
+        self.build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def build(self) -> None:
+        """(Re)build the tree with a BFS from the root over alive nodes.
+
+        Ties between candidate parents at equal depth are broken by node id
+        (shifted by ``tie_break_seed`` so different trees over the same
+        topology do not always pick the same parents).
+        """
+        self.parent = {self.root: None}
+        self.children = {self.root: []}
+        self.depth = {self.root: 0}
+        queue = deque([self.root])
+        while queue:
+            current = queue.popleft()
+            neighbours = self.topology.neighbors(current)
+            # Deterministic but seed-dependent ordering.
+            neighbours.sort(key=lambda n: ((n + self.tie_break_seed) % 7, n))
+            for neighbour in neighbours:
+                if neighbour in self.parent:
+                    continue
+                self.parent[neighbour] = current
+                self.children.setdefault(current, []).append(neighbour)
+                self.children.setdefault(neighbour, [])
+                self.depth[neighbour] = self.depth[current] + 1
+                queue.append(neighbour)
+
+    def construction_traffic(self, simulator: NetworkSimulator,
+                             beacon_bytes: int = 13) -> int:
+        """Charge the tree-construction flood to the simulator.
+
+        Every covered node broadcasts the beacon exactly once.
+        """
+        transmissions = 0
+        for node_id in self.covered_nodes():
+            simulator.broadcast(node_id, beacon_bytes, MessageKind.TREE_MAINT)
+            transmissions += 1
+        return transmissions
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def covered_nodes(self) -> List[int]:
+        return sorted(self.parent)
+
+    def covers(self, node_id: int) -> bool:
+        return node_id in self.parent
+
+    def depth_of(self, node_id: int) -> int:
+        return self.depth[node_id]
+
+    def parent_of(self, node_id: int) -> Optional[int]:
+        return self.parent[node_id]
+
+    def children_of(self, node_id: int) -> List[int]:
+        return list(self.children.get(node_id, []))
+
+    def subtree_nodes(self, node_id: int) -> List[int]:
+        """Every node in the subtree rooted at *node_id* (inclusive)."""
+        out: List[int] = []
+        stack = [node_id]
+        while stack:
+            current = stack.pop()
+            out.append(current)
+            stack.extend(self.children.get(current, []))
+        return out
+
+    def is_leaf(self, node_id: int) -> bool:
+        return not self.children.get(node_id)
+
+    def path_to_root(self, node_id: int) -> List[int]:
+        """Path from a node up to the root (inclusive of both)."""
+        if node_id not in self.parent:
+            raise KeyError(f"node {node_id} is not covered by the tree")
+        path = [node_id]
+        while self.parent[path[-1]] is not None:
+            path.append(self.parent[path[-1]])
+        return path
+
+    def path_from_root(self, node_id: int) -> List[int]:
+        return list(reversed(self.path_to_root(node_id)))
+
+    def hops_to_root(self, node_id: int) -> int:
+        return self.depth[node_id]
+
+    def route(self, source: int, target: int) -> List[int]:
+        """Tree route: climb to the lowest common ancestor, then descend."""
+        up = self.path_to_root(source)
+        down = self.path_to_root(target)
+        up_set = {node: index for index, node in enumerate(up)}
+        lca = None
+        for node in down:
+            if node in up_set:
+                lca = node
+                break
+        if lca is None:  # different components; should not happen on one tree
+            raise ValueError(f"no common ancestor between {source} and {target}")
+        ascent = up[: up_set[lca] + 1]
+        descent = list(reversed(down[: down.index(lca)]))
+        return ascent + descent
+
+    def hops_between(self, source: int, target: int) -> int:
+        return len(self.route(source, target)) - 1
+
+    # ------------------------------------------------------------------
+    # repair (limited-exploration repair of [11], Section 7)
+    # ------------------------------------------------------------------
+    def repair_after_failure(self, failed: int,
+                             simulator: Optional[NetworkSimulator] = None,
+                             beacon_bytes: int = 13) -> List[int]:
+        """Re-attach the orphaned subtree after *failed* dies.
+
+        Each orphan tries to pick a new parent among its alive neighbours that
+        are still connected to the root, preferring the smallest depth.
+        Returns the list of nodes that could not be re-attached.
+        """
+        if failed not in self.parent:
+            return []
+        orphans = set(self.subtree_nodes(failed))
+        # Remove the failed subtree from the structure.
+        failed_parent = self.parent.get(failed)
+        if failed_parent is not None and failed in self.children.get(failed_parent, []):
+            self.children[failed_parent].remove(failed)
+        for node in orphans:
+            self.parent.pop(node, None)
+            self.children.pop(node, None)
+            self.depth.pop(node, None)
+        orphans.discard(failed)
+
+        # Greedily re-attach orphans whose neighbours are still in the tree.
+        unattached: Set[int] = set(orphans)
+        progress = True
+        while progress and unattached:
+            progress = False
+            for node in sorted(unattached):
+                if not self.topology.nodes[node].alive:
+                    unattached.discard(node)
+                    progress = True
+                    break
+                candidates = [
+                    n for n in self.topology.neighbors(node) if n in self.parent
+                ]
+                if not candidates:
+                    continue
+                new_parent = min(candidates, key=lambda n: (self.depth[n], n))
+                self.parent[node] = new_parent
+                self.children.setdefault(new_parent, []).append(node)
+                self.children.setdefault(node, [])
+                self.depth[node] = self.depth[new_parent] + 1
+                if simulator is not None:
+                    # One local broadcast to announce the new parent choice.
+                    simulator.broadcast(node, beacon_bytes, MessageKind.TREE_MAINT)
+                unattached.discard(node)
+                progress = True
+                break
+        return sorted(unattached)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"RoutingTree(root={self.root}, nodes={len(self.parent)})"

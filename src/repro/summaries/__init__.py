@@ -1,0 +1,36 @@
+"""Mergeable summary structures used by semantic routing tables.
+
+The multi-tree routing substrate of the paper (Section 2.2, Appendix C)
+indexes *static* attributes at every node: each routing-table entry summarizes
+the attribute values reachable in the subtree below a child link.  The paper
+uses different structures depending on the attribute type:
+
+* :class:`BloomFilterSummary` -- categorical / discrete values (``id``,
+  ``cid``, ``rid``, ``x``, ``y``).
+* :class:`IntervalSummary` -- 1-D numeric ranges, a generalization of
+  TinyDB's semantic routing trees.
+* :class:`RTreeSummary` -- multidimensional rectangles for positions
+  (``pos``), used by region-based queries (Query 3).
+* :class:`HistogramSummary` -- equi-width histograms for approximate
+  selectivity estimation.
+
+All summaries follow the small :class:`Summary` protocol: they can absorb
+values, merge with peers (as information flows up a routing tree), answer
+"might this subtree contain a matching value?" queries, and report their
+encoded size in bytes so routing-table maintenance traffic can be accounted.
+"""
+
+from repro.summaries.base import Summary
+from repro.summaries.bloom import BloomFilterSummary
+from repro.summaries.histogram import HistogramSummary
+from repro.summaries.interval import IntervalSummary
+from repro.summaries.rtree import Rect, RTreeSummary
+
+__all__ = [
+    "Summary",
+    "BloomFilterSummary",
+    "IntervalSummary",
+    "RTreeSummary",
+    "Rect",
+    "HistogramSummary",
+]

@@ -1,0 +1,137 @@
+"""Bloom filter summaries for categorical static attributes.
+
+The paper builds Bloom filters over ``x``, ``y``, ``cid``, ``rid`` and ``id``
+(Section 4.1) and stores them in the routing tables of every tree so that a
+join-key search descends only into subtrees that might hold a matching value.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional
+
+from repro.summaries.base import Summary
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+_MASK64 = (1 << 64) - 1
+
+
+def _fnv1a(data: bytes, seed: int) -> int:
+    """64-bit FNV-1a hash with a seed mixed into the offset basis."""
+    value = (_FNV_OFFSET ^ (seed * 0x9E3779B97F4A7C15)) & _MASK64
+    for byte in data:
+        value ^= byte
+        value = (value * _FNV_PRIME) & _MASK64
+    return value
+
+
+def _to_bytes(value: Any) -> bytes:
+    if isinstance(value, bytes):
+        return value
+    if isinstance(value, bool):
+        return b"\x01" if value else b"\x00"
+    if isinstance(value, int):
+        return value.to_bytes(8, "little", signed=True)
+    if isinstance(value, float):
+        return repr(value).encode("utf-8")
+    return str(value).encode("utf-8")
+
+
+class BloomFilterSummary(Summary):
+    """A standard Bloom filter with ``k`` hash functions over ``m`` bits.
+
+    Parameters
+    ----------
+    num_bits:
+        Size of the bit array.  Mote routing tables are tiny, the paper's
+        default configuration fits in a handful of bytes per attribute.
+    num_hashes:
+        Number of hash functions.  If omitted it is derived from
+        ``expected_items`` using the textbook optimum ``k = m/n * ln 2``.
+    expected_items:
+        Number of distinct values the filter is expected to hold; only used
+        to derive ``num_hashes`` when that is not given explicitly.
+    """
+
+    def __init__(
+        self,
+        num_bits: int = 64,
+        num_hashes: Optional[int] = None,
+        expected_items: int = 16,
+        values: Optional[Iterable[Any]] = None,
+    ) -> None:
+        if num_bits <= 0:
+            raise ValueError("num_bits must be positive")
+        if expected_items <= 0:
+            raise ValueError("expected_items must be positive")
+        if num_hashes is None:
+            num_hashes = max(1, round(num_bits / expected_items * math.log(2)))
+        if num_hashes <= 0:
+            raise ValueError("num_hashes must be positive")
+        self.num_bits = num_bits
+        self.num_hashes = num_hashes
+        self._bits = 0
+        self._count = 0
+        if values is not None:
+            self.add_all(values)
+
+    def _positions(self, value: Any):
+        data = _to_bytes(value)
+        h1 = _fnv1a(data, 1)
+        h2 = _fnv1a(data, 2) | 1  # ensure odd so double hashing cycles all bits
+        for i in range(self.num_hashes):
+            yield (h1 + i * h2) % self.num_bits
+
+    def add(self, value: Any) -> None:
+        for pos in self._positions(value):
+            self._bits |= 1 << pos
+        self._count += 1
+
+    def might_contain(self, value: Any) -> bool:
+        return all((self._bits >> pos) & 1 for pos in self._positions(value))
+
+    def merge(self, other: Summary) -> "BloomFilterSummary":
+        if not isinstance(other, BloomFilterSummary):
+            raise TypeError("can only merge with another BloomFilterSummary")
+        if other.num_bits != self.num_bits or other.num_hashes != self.num_hashes:
+            raise ValueError("cannot merge Bloom filters with different geometry")
+        merged = BloomFilterSummary(self.num_bits, self.num_hashes)
+        merged._bits = self._bits | other._bits
+        merged._count = self._count + other._count
+        return merged
+
+    def size_bytes(self) -> int:
+        return (self.num_bits + 7) // 8
+
+    def copy(self) -> "BloomFilterSummary":
+        clone = BloomFilterSummary(self.num_bits, self.num_hashes)
+        clone._bits = self._bits
+        clone._count = self._count
+        return clone
+
+    @property
+    def approximate_items(self) -> int:
+        """Number of ``add`` calls absorbed (including duplicates)."""
+        return self._count
+
+    @property
+    def fill_ratio(self) -> float:
+        """Fraction of bits set; a proxy for the false-positive rate."""
+        return bin(self._bits).count("1") / self.num_bits
+
+    def false_positive_rate(self) -> float:
+        """Estimated false-positive probability at the current fill level."""
+        return self.fill_ratio ** self.num_hashes
+
+    def is_empty(self) -> bool:
+        return self._bits == 0
+
+    def __contains__(self, value: Any) -> bool:
+        return self.might_contain(value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BloomFilterSummary(bits={self.num_bits}, hashes={self.num_hashes}, "
+            f"fill={self.fill_ratio:.2f})"
+        )

@@ -1,0 +1,117 @@
+"""Equi-width histogram summaries.
+
+Histograms are listed in Appendix C among the structures a routing table may
+carry.  We also use them for local selectivity estimation when the adaptive
+optimizer (Section 6) re-estimates join selectivities from observed values.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.summaries.base import Summary
+
+
+class HistogramSummary(Summary):
+    """Fixed-range equi-width histogram.
+
+    Values outside ``[lo, hi)`` are clamped into the first or last bucket so
+    the summary never loses counts (important for selectivity estimation).
+    """
+
+    def __init__(self, lo: float, hi: float, num_buckets: int = 16) -> None:
+        if hi <= lo:
+            raise ValueError("hi must exceed lo")
+        if num_buckets <= 0:
+            raise ValueError("num_buckets must be positive")
+        self.lo = float(lo)
+        self.hi = float(hi)
+        self.num_buckets = num_buckets
+        self.counts: List[int] = [0] * num_buckets
+
+    def _bucket(self, value: float) -> int:
+        if value < self.lo:
+            return 0
+        if value >= self.hi:
+            return self.num_buckets - 1
+        width = (self.hi - self.lo) / self.num_buckets
+        return min(self.num_buckets - 1, int((value - self.lo) / width))
+
+    def add(self, value: Any) -> None:
+        self.counts[self._bucket(float(value))] += 1
+
+    def might_contain(self, value: Any) -> bool:
+        return self.counts[self._bucket(float(value))] > 0
+
+    def merge(self, other: Summary) -> "HistogramSummary":
+        if not isinstance(other, HistogramSummary):
+            raise TypeError("can only merge with another HistogramSummary")
+        if (other.lo, other.hi, other.num_buckets) != (self.lo, self.hi, self.num_buckets):
+            raise ValueError("cannot merge histograms with different geometry")
+        merged = HistogramSummary(self.lo, self.hi, self.num_buckets)
+        merged.counts = [a + b for a, b in zip(self.counts, other.counts)]
+        return merged
+
+    def size_bytes(self) -> int:
+        # 16-bit counters per bucket plus the two range endpoints.
+        return 2 * self.num_buckets + 4
+
+    def copy(self) -> "HistogramSummary":
+        clone = HistogramSummary(self.lo, self.hi, self.num_buckets)
+        clone.counts = list(self.counts)
+        return clone
+
+    # -- estimation helpers -------------------------------------------------
+    @property
+    def total(self) -> int:
+        return sum(self.counts)
+
+    def selectivity(self, lo: float, hi: float) -> float:
+        """Estimated fraction of values falling within ``[lo, hi)``.
+
+        Uses the uniform-within-bucket assumption standard in query
+        optimizers.
+        """
+        if self.total == 0:
+            return 0.0
+        width = (self.hi - self.lo) / self.num_buckets
+        covered = 0.0
+        for i, count in enumerate(self.counts):
+            b_lo = self.lo + i * width
+            b_hi = b_lo + width
+            overlap = max(0.0, min(hi, b_hi) - max(lo, b_lo))
+            if overlap > 0 and width > 0:
+                covered += count * (overlap / width)
+        return covered / self.total
+
+    def equality_selectivity(self, distinct_hint: Optional[int] = None) -> float:
+        """Estimated probability that two random values are equal.
+
+        If ``distinct_hint`` is given, assume that many distinct values spread
+        uniformly; otherwise estimate from bucket occupancy.
+        """
+        if self.total == 0:
+            return 0.0
+        if distinct_hint:
+            return 1.0 / distinct_hint
+        probs = [c / self.total for c in self.counts]
+        # Collision probability if values inside a bucket are identical; this
+        # is an upper bound used only as a fallback heuristic.
+        return sum(p * p for p in probs)
+
+    def mean(self) -> float:
+        """Mean value estimated from bucket midpoints."""
+        if self.total == 0:
+            return 0.0
+        width = (self.hi - self.lo) / self.num_buckets
+        acc = 0.0
+        for i, count in enumerate(self.counts):
+            midpoint = self.lo + (i + 0.5) * width
+            acc += midpoint * count
+        return acc / self.total
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"HistogramSummary([{self.lo}, {self.hi}), buckets={self.num_buckets}, "
+            f"total={self.total})"
+        )

@@ -1,0 +1,167 @@
+"""Deterministic synthetic data sources.
+
+The evaluation controls three knobs (Section 4.1, Table 1):
+
+* the producer rates ``sigma_s`` / ``sigma_t`` -- the probability that an
+  S / T node's dynamic selection predicate is satisfied in a sampling cycle,
+* the join selectivity ``sigma_st`` -- the probability that two sent values
+  join, realized by drawing ``u`` uniformly from ``ceil(1/sigma_st)`` values,
+* optional per-node overrides (the Sel1/Sel2 spatial-skew experiment) and a
+  mid-run switch (the temporal-drift experiment).
+
+The data source exposes those knobs directly: the query's dynamic selection
+is the fixed predicate ``adc0 < 500`` and the data source sets ``adc0`` below
+or above the threshold with the configured per-node probability.  This keeps
+the realized selectivities exactly at their nominal values, which the paper's
+figures require ("data has sigma_s:sigma_t selectivities").  The paper's
+literal ``hash(u) % k = 0`` producer filters are available in
+:data:`repro.workloads.queries.PAPER_QUERY_SQL` for completeness.
+
+All values are deterministic functions of (seed, node, cycle) so repeated
+runs and different algorithms see identical data.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+SEND_THRESHOLD = 500  # queries use "adc0 < 500" as the dynamic selection
+_SEND_RANGE = 1000
+
+_MASK64 = (1 << 64) - 1
+
+
+def _mix(*parts: int) -> int:
+    """SplitMix64-style deterministic mixing of integer coordinates."""
+    value = 0x9E3779B97F4A7C15
+    for part in parts:
+        value = (value ^ (part & _MASK64)) * 0xBF58476D1CE4E5B9 & _MASK64
+        value ^= value >> 27
+        value = (value * 0x94D049BB133111EB) & _MASK64
+        value ^= value >> 31
+    return value
+
+
+def _uniform(seed: int, node: int, cycle: int, stream: int, modulo: int) -> int:
+    if modulo <= 0:
+        raise ValueError("modulo must be positive")
+    return _mix(seed, node, cycle, stream) % modulo
+
+
+@dataclass
+class SyntheticDataSource:
+    """Synthetic dynamic attributes for Queries 0-2.
+
+    Parameters
+    ----------
+    sigma_st:
+        Default join selectivity; ``u`` is drawn from ``ceil(1/sigma_st)``
+        values so two independent draws collide with probability sigma_st.
+    send_probability:
+        Default probability that a node's ``adc0 < 500`` selection holds in a
+        cycle (i.e. the node's producer rate sigma_p).
+    per_node_send_probability / per_node_u_range:
+        Per-node overrides for the spatial-skew experiment (Section 6.1).
+    switch_cycle / switched:
+        If set, from ``switch_cycle`` onwards the ``switched`` data source's
+        parameters take over (temporal-drift experiment).
+    """
+
+    sigma_st: float = 0.2
+    send_probability: float = 1.0
+    seed: int = 0
+    per_node_send_probability: Dict[int, float] = field(default_factory=dict)
+    per_node_u_range: Dict[int, int] = field(default_factory=dict)
+    switch_cycle: Optional[int] = None
+    switched: Optional["SyntheticDataSource"] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.sigma_st <= 1.0:
+            raise ValueError("sigma_st must be in (0, 1]")
+        if not 0.0 <= self.send_probability <= 1.0:
+            raise ValueError("send_probability must be in [0, 1]")
+        self.u_range = max(1, math.ceil(1.0 / self.sigma_st))
+
+    # ------------------------------------------------------------------
+    def _effective(self, cycle: int) -> "SyntheticDataSource":
+        if (
+            self.switch_cycle is not None
+            and self.switched is not None
+            and cycle >= self.switch_cycle
+        ):
+            return self.switched
+        return self
+
+    def send_probability_for(self, node_id: int) -> float:
+        return self.per_node_send_probability.get(node_id, self.send_probability)
+
+    def u_range_for(self, node_id: int) -> int:
+        return self.per_node_u_range.get(node_id, self.u_range)
+
+    def sample(self, node_id: int, cycle: int) -> Dict[str, Any]:
+        source = self._effective(cycle)
+        send_prob = source.send_probability_for(node_id)
+        send_draw = _uniform(source.seed, node_id, cycle, 1, _SEND_RANGE)
+        sends = send_draw < send_prob * _SEND_RANGE
+        if sends:
+            adc0 = send_draw % SEND_THRESHOLD
+        else:
+            adc0 = SEND_THRESHOLD + (send_draw % SEND_THRESHOLD)
+        u_value = _uniform(source.seed, node_id, cycle, 2, source.u_range_for(node_id))
+        return {"u": u_value, "adc0": adc0, "v": 0}
+
+
+def build_send_probability_map(
+    source_nodes, target_nodes, sigma_s: float, sigma_t: float
+) -> Dict[int, float]:
+    """Per-node send probabilities given each relation's eligible producers.
+
+    A node eligible for both relations gets the larger of the two rates (the
+    paper's relation memberships are disjoint, so this is a corner case).
+    """
+    mapping: Dict[int, float] = {}
+    for node_id in source_nodes:
+        mapping[node_id] = sigma_s
+    for node_id in target_nodes:
+        mapping[node_id] = max(mapping.get(node_id, 0.0), sigma_t)
+    return mapping
+
+
+def skewed_data_source(
+    regime_of_node,
+    source_nodes,
+    target_nodes,
+    seed: int = 0,
+) -> SyntheticDataSource:
+    """Per-node regimes: half the nodes follow Sel1, the other half Sel2
+    (Figure 12a).
+
+    ``regime_of_node`` maps a node id to its
+    :class:`~repro.core.cost_model.Selectivities`; a node's producer rate is
+    the regime's sigma_s if it belongs to the source relation and sigma_t if
+    it belongs to the target relation, and its ``u`` range follows the
+    regime's sigma_st.
+    """
+    per_node_send: Dict[int, float] = {}
+    per_node_u_range: Dict[int, int] = {}
+    source_set = set(source_nodes)
+    target_set = set(target_nodes)
+    default_sigma_st = 0.2
+    for node_id, regime in regime_of_node.items():
+        if node_id in source_set:
+            per_node_send[node_id] = regime.sigma_s
+        elif node_id in target_set:
+            per_node_send[node_id] = regime.sigma_t
+        else:
+            per_node_send[node_id] = 0.0
+        per_node_u_range[node_id] = max(1, math.ceil(1.0 / max(regime.sigma_st, 1e-9)))
+        default_sigma_st = regime.sigma_st
+    return SyntheticDataSource(
+        sigma_st=default_sigma_st,
+        send_probability=1.0,
+        seed=seed,
+        per_node_send_probability=per_node_send,
+        per_node_u_range=per_node_u_range,
+    )

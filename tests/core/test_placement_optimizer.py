@@ -1,0 +1,247 @@
+"""Tests for join-node placement, the pairwise optimizer and GROUPOPT."""
+
+import pytest
+
+from repro.core import (
+    GroupOptimizer,
+    PairwiseOptimizer,
+    Selectivities,
+    build_groups,
+    optimal_pair_placements,
+    place_join_node,
+)
+from repro.core.group_opt import reconcile_decisions
+from repro.core.placement import best_placement, nomination_traffic
+from repro.network import NetworkSimulator
+from repro.network.topology import random_topology
+from repro.routing import MultiTreeSubstrate
+from repro.routing.multitree import PairPath
+
+
+@pytest.fixture(scope="module")
+def topo():
+    return random_topology(num_nodes=60, average_degree=7, seed=21)
+
+
+@pytest.fixture(scope="module")
+def substrate(topo):
+    return MultiTreeSubstrate(topo, num_trees=2)
+
+
+def _pair_path(substrate, source, target):
+    path = substrate.best_route(source, target)
+    hops = [substrate.hops_to_base(n) for n in path]
+    return PairPath(source=source, target=target, path=path, hops_to_base=hops)
+
+
+class TestPlacement:
+    def test_join_node_on_path_or_base(self, topo, substrate):
+        pair = _pair_path(substrate, topo.node_ids[3], topo.node_ids[-4])
+        decision = place_join_node(
+            pair, Selectivities(0.5, 0.5, 0.1), 3,
+            substrate.path_to_base, topo.base_id,
+        )
+        assert decision.join_node in pair.path or decision.at_base
+        assert decision.source_to_join[0] == pair.source
+        assert decision.target_to_join[0] == pair.target
+        assert decision.source_to_join[-1] == decision.join_node
+        assert decision.target_to_join[-1] == decision.join_node
+        assert decision.join_to_base[-1] == topo.base_id or decision.at_base
+
+    def test_never_worse_than_base(self, topo, substrate):
+        """Explicit minimization: chosen cost <= cost of joining at the base."""
+        selectivity_grid = [
+            Selectivities(0.1, 1.0, 0.2),
+            Selectivities(0.5, 0.5, 0.05),
+            Selectivities(1.0, 0.1, 0.2),
+            Selectivities(1.0, 1.0, 1.0),
+        ]
+        ids = topo.node_ids
+        for sel in selectivity_grid:
+            for offset in range(5):
+                pair = _pair_path(substrate, ids[2 + offset], ids[-3 - offset])
+                decision = place_join_node(
+                    pair, sel, 3, substrate.path_to_base, topo.base_id
+                )
+                assert decision.expected_cost <= decision.base_cost + 1e-9
+
+    def test_asymmetric_selectivities_pull_join_node(self, topo, substrate):
+        """The join node sits nearer the chattier producer's partner:
+        with sigma_s tiny and sigma_t high, t's data should travel few hops."""
+        pair = _pair_path(substrate, topo.node_ids[4], topo.node_ids[-5])
+        skewed_s = place_join_node(
+            pair, Selectivities(0.05, 1.0, 0.0), 1, substrate.path_to_base, topo.base_id
+        )
+        skewed_t = place_join_node(
+            pair, Selectivities(1.0, 0.05, 0.0), 1, substrate.path_to_base, topo.base_id
+        )
+        if not skewed_s.at_base and not skewed_t.at_base:
+            assert skewed_s.d_tj <= skewed_t.d_tj
+
+    def test_missing_annotation_rejected(self, topo, substrate):
+        path = substrate.best_route(topo.node_ids[1], topo.node_ids[-2])
+        bare = PairPath(
+            source=path[0], target=path[-1], path=path, hops_to_base=[]
+        )
+        with pytest.raises(ValueError):
+            place_join_node(bare, Selectivities(1, 1, 0), 1,
+                            substrate.path_to_base, topo.base_id)
+
+    def test_best_placement_picks_min_over_paths(self, topo, substrate):
+        source, target = topo.node_ids[3], topo.node_ids[-4]
+        candidates = [
+            _pair_path(substrate, source, target),
+        ]
+        # Add a deliberately longer candidate (via the base).
+        long_path = (substrate.path_to_base(source)
+                     + list(reversed(substrate.path_to_base(target)))[1:])
+        seen = set()
+        long_path = [n for n in long_path if not (n in seen or seen.add(n))]
+        candidates.append(PairPath(
+            source=source, target=target, path=long_path,
+            hops_to_base=[substrate.hops_to_base(n) for n in long_path],
+        ))
+        best = best_placement(candidates, Selectivities(0.5, 0.5, 0.1), 1,
+                              substrate.path_to_base, topo.base_id)
+        individual = [
+            place_join_node(c, Selectivities(0.5, 0.5, 0.1), 1,
+                            substrate.path_to_base, topo.base_id).expected_cost
+            for c in candidates
+        ]
+        assert best.expected_cost == pytest.approx(min(individual))
+
+    def test_best_placement_requires_candidates(self, topo, substrate):
+        with pytest.raises(ValueError):
+            best_placement([], Selectivities(1, 1, 0), 1,
+                           substrate.path_to_base, topo.base_id)
+
+    def test_nomination_traffic_charged(self, topo, substrate):
+        sim = NetworkSimulator(topo)
+        pair = _pair_path(substrate, topo.node_ids[3], topo.node_ids[-4])
+        decision = place_join_node(pair, Selectivities(0.5, 0.5, 0.1), 3,
+                                   substrate.path_to_base, topo.base_id)
+        nomination_traffic(sim, decision)
+        assert sim.stats.total() > 0
+
+
+class TestAgainstGlobalOptimum:
+    def test_distributed_placement_close_to_optimal(self, topo, substrate):
+        """Figure 7: decentralized placement is within a few percent of the
+        optimum computed with global knowledge (here: on the same paths the
+        cost ordering must agree within a small factor)."""
+        sel = Selectivities(1.0, 0.0, 0.0)
+        ids = topo.node_ids
+        pairs = [(ids[3 + i], ids[-4 - i]) for i in range(10)]
+        optimal = optimal_pair_placements(topo, pairs, sel, window_size=1)
+        total_optimal = sum(cost for _, cost in optimal.values())
+        total_distributed = 0.0
+        for source, target in pairs:
+            pair = _pair_path(substrate, source, target)
+            decision = place_join_node(pair, sel, 1, substrate.path_to_base, topo.base_id)
+            total_distributed += decision.expected_cost
+        assert total_distributed >= total_optimal - 1e-9
+        # The multi-tree paths are close to shortest paths, so the gap is small.
+        assert total_distributed <= total_optimal * 1.25 + 1e-9
+
+
+class TestGroups:
+    def test_build_groups_connected_components(self):
+        groups = build_groups([(1, 10), (2, 10), (3, 11), (5, 12)])
+        assert len(groups) == 3
+        sizes = sorted(len(g.pairs) for g in groups)
+        assert sizes == [1, 1, 2]
+        big = max(groups, key=lambda g: len(g.pairs))
+        assert big.source_members == {1, 2}
+        assert big.target_members == {10}
+        assert big.coordinator == 1
+
+    def test_group_optimizer_prefers_base_for_shared_heavy_joins(self, topo, substrate):
+        """When one s joins many t's with high sigma_st, shipping everything to
+        the base once beats producing results at a far-away join node."""
+        ids = [n for n in topo.node_ids if n != topo.base_id]
+        source = max(ids, key=substrate.hops_to_base)
+        targets = sorted(ids, key=substrate.hops_to_base, reverse=True)[1:5]
+        pairs = [(source, t) for t in targets]
+        sel = {p: Selectivities(1.0, 1.0, 1.0) for p in pairs}
+        optimizer = PairwiseOptimizer(substrate, window_size=3)
+        candidate_paths = {p: [_pair_path(substrate, *p)] for p in pairs}
+        plan = optimizer.optimize_pairs(candidate_paths, sel)
+        plan = optimizer.apply_group_optimization(plan, sel)
+        assert plan.group_decisions
+        decision = plan.group_decisions[0]
+        if decision.join_at_base:
+            assert all(plan.decision_for(p).at_base for p in pairs)
+
+    def test_group_optimizer_keeps_innet_for_rare_joins(self, topo, substrate):
+        """With sigma_st ~ 0 and producers far from the base, in-network wins."""
+        ids = [n for n in topo.node_ids if n != topo.base_id]
+        far = sorted(ids, key=substrate.hops_to_base, reverse=True)
+        pairs = [(far[0], far[1]), (far[0], far[2])]
+        sel = {p: Selectivities(1.0, 1.0, 0.0) for p in pairs}
+        optimizer = PairwiseOptimizer(substrate, window_size=1)
+        candidate_paths = {p: [_pair_path(substrate, *p)] for p in pairs}
+        plan = optimizer.optimize_pairs(candidate_paths, sel)
+        plan = optimizer.apply_group_optimization(plan, sel)
+        assert plan.group_decisions[0].use_innet
+        assert not all(plan.decision_for(p).at_base for p in pairs)
+
+    def test_group_traffic_charged(self, topo, substrate):
+        sim = NetworkSimulator(topo)
+        ids = [n for n in topo.node_ids if n != topo.base_id]
+        pairs = [(ids[0], ids[10]), (ids[0], ids[11])]
+        sel = {p: Selectivities(0.5, 0.5, 0.2) for p in pairs}
+        optimizer = PairwiseOptimizer(substrate, window_size=1)
+        candidate_paths = {p: [_pair_path(substrate, *p)] for p in pairs}
+        plan = optimizer.optimize_pairs(candidate_paths, sel, simulator=sim)
+        traffic_after_pairs = sim.stats.total()
+        optimizer.apply_group_optimization(plan, sel, simulator=sim)
+        assert sim.stats.total() > traffic_after_pairs
+
+    def test_reconcile_decisions(self):
+        groups = build_groups([(1, 10), (2, 10)])
+        group = groups[0]
+        older = __import__("repro.core.group_opt", fromlist=["GroupDecision"]).GroupDecision(
+            group=group, use_innet=True, total_delta=-1.0, sequence=1
+        )
+        newer = __import__("repro.core.group_opt", fromlist=["GroupDecision"]).GroupDecision(
+            group=group, use_innet=False, total_delta=2.0, sequence=2
+        )
+        assert reconcile_decisions(older, newer) is newer
+        assert reconcile_decisions(newer, older) is newer
+
+
+class TestJoinPlan:
+    def test_plan_bookkeeping(self, topo, substrate):
+        ids = [n for n in topo.node_ids if n != topo.base_id]
+        pairs = [(ids[0], ids[10]), (ids[1], ids[11])]
+        sel = {p: Selectivities(0.5, 0.5, 0.1) for p in pairs}
+        optimizer = PairwiseOptimizer(substrate, window_size=2)
+        candidate_paths = {p: [_pair_path(substrate, *p)] for p in pairs}
+        plan = optimizer.optimize_pairs(candidate_paths, sel)
+        assert plan.pairs() == sorted(pairs)
+        assert plan.expected_cost_per_cycle() > 0
+        join_nodes = plan.join_nodes()
+        assert join_nodes
+        listed = [p for j in join_nodes for p in plan.pairs_at(j)]
+        assert sorted(listed) == sorted(pairs)
+        assert 0.0 <= plan.fraction_at_base() <= 1.0
+
+    def test_reoptimize_pair_updates_assignment(self, topo, substrate):
+        ids = [n for n in topo.node_ids if n != topo.base_id]
+        pair = (ids[0], ids[10])
+        sel = {pair: Selectivities(0.1, 1.0, 0.05)}
+        optimizer = PairwiseOptimizer(substrate, window_size=3)
+        candidate_paths = {pair: [_pair_path(substrate, *pair)]}
+        plan = optimizer.optimize_pairs(candidate_paths, sel)
+        before = plan.decision_for(pair)
+        after = optimizer.reoptimize_pair(
+            plan, pair, Selectivities(1.0, 0.1, 0.05)
+        )
+        assert plan.decision_for(pair) is after
+        assert after.expected_cost <= after.base_cost + 1e-9
+        # The decision may or may not move, but it must stay on the path/base.
+        assert after.join_node in candidate_paths[pair][0].path or after.at_base
+
+    def test_optimizer_window_validation(self, substrate):
+        with pytest.raises(ValueError):
+            PairwiseOptimizer(substrate, window_size=0)

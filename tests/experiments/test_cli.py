@@ -1,0 +1,53 @@
+"""Tests for the command-line figure runner."""
+
+import pytest
+
+from repro.experiments.cli import FIGURES, available_figures, build_parser, main, run_figure
+from repro.experiments.harness import SCALES
+
+
+class TestRegistry:
+    def test_every_registered_figure_is_callable(self):
+        for name, (description, function) in FIGURES.items():
+            assert description
+            assert callable(function)
+
+    def test_expected_figures_present(self):
+        names = available_figures()
+        for expected in ("fig02", "fig07", "fig10", "fig13", "fig16", "table3", "appg"):
+            assert expected in names
+
+    def test_run_figure_unknown(self):
+        with pytest.raises(KeyError):
+            run_figure("fig99", SCALES["smoke"])
+
+    def test_run_figure_smoke(self):
+        rows = run_figure("fig06", SCALES["smoke"])
+        assert rows
+        assert {"centralized", "distributed"} == {row["scheme"] for row in rows}
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02" in out
+        assert "Available figures" in out
+
+    def test_no_arguments_lists(self, capsys):
+        assert main([]) == 0
+        assert "fig13" in capsys.readouterr().out
+
+    def test_run_one_figure(self, capsys):
+        assert main(["--figure", "fig06", "--scale", "smoke"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out
+        assert "centralized" in out
+
+    def test_unknown_figure_sets_exit_code(self, capsys):
+        assert main(["--figure", "fig99", "--scale", "smoke"]) == 2
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args([])
+        assert args.scale == "default"
+        assert args.figure == []

@@ -1,0 +1,197 @@
+"""Smoke-scale integration tests for every figure-reproduction function.
+
+Each test runs the experiment at the tiny ``smoke`` scale and checks the
+structural properties the paper's figure relies on (who is compared, which
+columns exist, basic sanity of the trend) without asserting exact magnitudes.
+"""
+
+import pytest
+
+from repro.experiments import figures_adaptive as adaptive
+from repro.experiments import figures_joins as joins
+from repro.experiments import figures_substrate as substrate
+from repro.experiments.harness import SCALES
+
+SMOKE = SCALES["smoke"]
+
+
+class TestJoinFigures:
+    def test_fig02_structure(self):
+        rows = joins.fig02_query1_traffic(
+            scale=SMOKE, ratios=["1/2:1/2"], join_selectivities=[0.2]
+        )
+        algorithms = {row["algorithm"] for row in rows}
+        assert algorithms == {"naive", "base", "ght", "innet", "innet-cmg", "innet-cmpg"}
+        assert all(row["total_traffic_kb"] > 0 for row in rows)
+        assert all(row["base_traffic_kb"] > 0 for row in rows)
+
+    def test_fig03_structure(self):
+        rows = joins.fig03_query2_traffic(
+            scale=SMOKE, ratios=["1/10:1"], join_selectivities=[0.1]
+        )
+        assert len(rows) == 6
+        naive = next(r for r in rows if r["algorithm"] == "naive")
+        ght = next(r for r in rows if r["algorithm"] == "ght")
+        assert ght["total_traffic_kb"] > 0 and naive["total_traffic_kb"] > 0
+
+    def test_fig04_true_estimate_is_competitive(self):
+        rows = joins.fig04_costmodel_query0(
+            scale=SMOKE,
+            true_ratios=["1/10:1"],
+            estimated_ratios=["1/10:1", "1:1/10"],
+        )
+        assert len(rows) == 2
+        true_row = next(r for r in rows if r["is_true_estimate"])
+        other_row = next(r for r in rows if not r["is_true_estimate"])
+        # Query 0's single pair: optimizing for the true ratio is never worse.
+        assert true_row["total_traffic_kb"] <= other_row["total_traffic_kb"] * 1.05
+
+    def test_fig05_ranks_descend(self):
+        rows = joins.fig05_load_distribution(scale=SMOKE, algorithms=["naive", "innet-cmg"])
+        naive_rows = [r for r in rows if r["algorithm"] == "naive"]
+        loads = [r["load_kb"] for r in naive_rows]
+        assert loads == sorted(loads, reverse=True)
+
+    def test_fig06_centralized_worse_at_base_and_latency(self):
+        rows = joins.fig06_centralized_vs_distributed(scale=SMOKE)
+        centralized = next(r for r in rows if r["scheme"] == "centralized")
+        distributed = next(r for r in rows if r["scheme"] == "distributed")
+        assert centralized["traffic_at_base_kb"] > distributed["traffic_at_base_kb"]
+        assert centralized["latency_cycles"] > distributed["latency_cycles"]
+
+    def test_fig07_distributed_close_to_optimal(self):
+        rows = joins.fig07_optimal_vs_distributed(scale=SMOKE, num_pairs=8)
+        assert {row["topology"] for row in rows} == {
+            "dense", "medium", "moderate", "sparse", "grid"
+        }
+        for row in rows:
+            assert row["distributed_cost"] >= row["optimal_cost"] - 1e-9
+            if row["workload"] == "paper(1,0,0)":
+                # The paper's workload: the optimizer matches the optimum.
+                assert row["overhead_percent"] <= 5.0
+            else:
+                # Symmetric variant: tree paths may not contain the global
+                # optimum, but the gap stays bounded.
+                assert row["overhead_percent"] <= 60.0
+
+    def test_fig08_contains_both_queries(self):
+        rows = joins.fig08_mpo_costmodel(
+            scale=SMOKE, true_ratios=["1/2:1/2"], estimated_ratios=["1/2:1/2"]
+        )
+        assert {row["query"] for row in rows} == {"query1", "query2"}
+
+    def test_fig09a_traffic_grows_with_duration(self):
+        rows = joins.fig09a_method_vs_duration(
+            scale=SMOKE, algorithms=["naive", "innet-cmg"], durations=[5, 20]
+        )
+        naive = {r["cycles"]: r["total_traffic_kb"] for r in rows if r["algorithm"] == "naive"}
+        assert naive[20] > naive[5]
+
+    def test_fig09b_mpo_variants(self):
+        rows = joins.fig09b_mpo_vs_join_selectivity(
+            scale=SMOKE, join_selectivities=[0.2], cycles=15
+        )
+        assert {r["algorithm"] for r in rows} == {"innet", "innet-cm", "innet-cmg",
+                                                  "innet-cmpg"}
+        plain = next(r for r in rows if r["algorithm"] == "innet")
+        cm = next(r for r in rows if r["algorithm"] == "innet-cm")
+        cmg = next(r for r in rows if r["algorithm"] == "innet-cmg")
+        cmpg = next(r for r in rows if r["algorithm"] == "innet-cmpg")
+        # Multicast sharing is a pure win over per-pair unicast; the grouped
+        # variants add initiation traffic that only pays off on longer runs
+        # (Figure 9a), so here we only require they stay in the same ballpark.
+        assert cm["total_traffic_kb"] <= plain["total_traffic_kb"] * 1.05
+        assert cmpg["total_traffic_kb"] <= cmg["total_traffic_kb"] * 1.05
+
+
+class TestAdaptiveFigures:
+    def test_fig10_gain_for_wrong_estimates(self):
+        rows = adaptive.fig10_learning_gain(
+            scale=SMOKE, queries=["query1"],
+            true_ratios=["1/10:1"], estimated_ratios=["1/10:1", "1:1/10"],
+        )
+        assert len(rows) == 2
+        for row in rows:
+            assert row["no_learning_kb"] > 0
+            assert row["learning_kb"] > 0
+
+    def test_fig11_duration_rows(self):
+        rows = adaptive.fig11_learning_duration(scale=SMOKE, durations=[10, 20])
+        assert {row["cycles"] for row in rows} == {10, 20}
+
+    def test_fig12a_settings(self):
+        rows = adaptive.fig12a_spatial_skew(scale=SMOKE, queries=["query1"])
+        settings = {row["setting"] for row in rows}
+        assert settings == {"Sel1", "Sel2", "Full knowledge", "Sel1 learn", "Sel2 learn"}
+
+    def test_fig12b_settings(self):
+        rows = adaptive.fig12b_temporal_drift(scale=SMOKE, queries=["query1"])
+        settings = {row["setting"] for row in rows}
+        assert "Full knowledge" in settings
+        assert "Sel1 learn" in settings
+
+    def test_fig13_intel_orderings(self):
+        rows = adaptive.fig13_intel_learning(scale=SMOKE, cycles=15)
+        by_setting = {row["setting"]: row for row in rows}
+        assert set(by_setting) == {
+            "yang07", "ght_gpsr", "naive_base", "innet_full_knowledge", "innet_learn",
+        }
+        # GHT/GPSR routes over hash locations: the most traffic (log-scale bar).
+        assert by_setting["ght_gpsr"]["total_traffic_kb"] == max(
+            row["total_traffic_kb"] for row in rows
+        )
+        assert by_setting["innet_full_knowledge"]["total_traffic_kb"] <= (
+            by_setting["naive_base"]["total_traffic_kb"] * 1.05
+        )
+
+    def test_fig14_failure_increases_delay(self):
+        rows = adaptive.fig14_failure(scale=SMOKE, join_selectivities=(0.2,))
+        by_setting = {row["setting"]: row for row in rows}
+        assert by_setting["with_failure"]["delay_cycles"] >= (
+            by_setting["no_failure"]["delay_cycles"]
+        )
+
+
+class TestSubstrateFigures:
+    def test_fig16_more_trees_shorter_paths(self):
+        rows = substrate.fig16_path_quality_mote(scale=SMOKE, num_pairs=40)
+        for topology in {row["topology"] for row in rows}:
+            subset = {row["scheme"]: row for row in rows if row["topology"] == topology}
+            assert subset["3-tree"]["avg_path_length"] <= subset["1-tree"]["avg_path_length"]
+            assert subset["full-graph"]["avg_path_length"] <= subset["3-tree"]["avg_path_length"]
+
+    def test_fig17_has_dht_scheme(self):
+        rows = substrate.fig17_path_quality_mesh(scale=SMOKE, num_pairs=30)
+        assert any(row["scheme"] == "dht" for row in rows)
+
+    def test_fig18_scaleup(self):
+        rows = substrate.fig18_mesh_scaleup(scale=SMOKE, sizes=(49, 100), num_pairs=30)
+        small = [r for r in rows if r["num_nodes"] == 49 and r["scheme"] == "3-tree"][0]
+        large = [r for r in rows if r["num_nodes"] == 100 and r["scheme"] == "3-tree"][0]
+        assert large["avg_path_length"] >= small["avg_path_length"] * 0.8
+
+    def test_fig19_20_mesh_queries(self):
+        rows = substrate.fig19_mesh_query1(
+            scale=SMOKE, ratios=["1/2:1/2"], join_selectivities=[0.1]
+        )
+        assert {row["algorithm"] for row in rows} == {"naive", "base", "dht", "innet-cmg"}
+        rows2 = substrate.fig20_mesh_query2(
+            scale=SMOKE, ratios=["1/2:1/2"], join_selectivities=[0.1]
+        )
+        assert all(row["total_messages_k"] > 0 for row in rows2)
+
+    def test_table3_validation(self):
+        rows = substrate.table3_cost_validation(scale=SMOKE, cycles=10)
+        by_algorithm = {row["algorithm"]: row for row in rows}
+        assert set(by_algorithm) == {"naive", "base", "yang07"}
+        # The Naive formula has no free parameters: simulation matches closely.
+        assert by_algorithm["naive"]["ratio"] == pytest.approx(1.0, abs=0.15)
+        for row in rows:
+            assert 0.3 <= row["ratio"] <= 1.7
+
+    def test_appg_mobility(self):
+        rows = substrate.appg_mobility(scale=SMOKE, num_moves=2)
+        assert rows
+        for row in rows:
+            assert row["update_traffic_bytes"] > 0
+            assert row["propagation_cycles"] > 0

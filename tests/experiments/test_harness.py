@@ -1,0 +1,133 @@
+"""Tests for the experiment harness, scales, aggregation and reporting."""
+
+import pytest
+
+from repro.core import Selectivities
+from repro.experiments import (
+    available_algorithms,
+    build_workload,
+    format_table,
+    make_strategy,
+    results_to_rows,
+    run_comparison,
+    run_single,
+    scale_from_env,
+)
+from repro.experiments.harness import (
+    FIGURE2_ALGORITHMS,
+    MESH_ALGORITHMS,
+    SCALES,
+    AggregateResult,
+    RunResult,
+    build_topology,
+)
+from repro.experiments.report import relative_to, winner
+from repro.joins import InnetJoin, NaiveJoin
+from repro.workloads.queries import build_query1
+
+SMOKE = SCALES["smoke"]
+
+
+class TestScales:
+    def test_presets_exist(self):
+        assert set(SCALES) == {"smoke", "default", "paper"}
+        assert SCALES["paper"].runs == 9
+        assert SCALES["paper"].cycles == 100
+
+    def test_scale_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert scale_from_env().name == "smoke"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(KeyError):
+            scale_from_env()
+        monkeypatch.delenv("REPRO_SCALE")
+        assert scale_from_env("default").name == "default"
+
+    def test_scaled_cycles(self):
+        assert SMOKE.scaled_cycles() == SMOKE.cycles
+        assert SMOKE.scaled_cycles(77) == 77
+
+
+class TestStrategyFactory:
+    def test_all_figure_algorithms_available(self):
+        names = available_algorithms()
+        for name in FIGURE2_ALGORITHMS + MESH_ALGORITHMS:
+            assert name in names
+
+    def test_make_strategy(self):
+        assert isinstance(make_strategy("naive"), NaiveJoin)
+        assert isinstance(make_strategy("innet-cmpg"), InnetJoin)
+        assert make_strategy("innet-cmpg").name == "innet-cmpg"
+        assert make_strategy("innet-learn").variant.learning
+
+    def test_unknown_algorithm(self):
+        with pytest.raises(KeyError):
+            make_strategy("quantum-join")
+
+
+class TestRunners:
+    def test_run_single_produces_report(self):
+        topology = build_topology(SMOKE, preset="moderate", seed=0)
+        query = build_query1()
+        selectivities = Selectivities(0.5, 0.5, 0.2)
+        data_source = build_workload(topology, query, selectivities, seed=1)
+        result = run_single(query, topology, data_source, "base", selectivities,
+                            cycles=5, seed=0)
+        assert isinstance(result, RunResult)
+        assert result.report.total_traffic > 0
+        assert result.metric("total_traffic") == result.report.total_traffic
+
+    def test_run_comparison_aggregates(self):
+        selectivities = Selectivities(0.5, 0.5, 0.2)
+        results = run_comparison(
+            build_query1, algorithms=["naive", "base"],
+            data_selectivities=selectivities, scale=SMOKE,
+        )
+        assert set(results) == {"naive", "base"}
+        for aggregate in results.values():
+            assert isinstance(aggregate, AggregateResult)
+            assert len(aggregate.runs) == SMOKE.runs
+            assert aggregate.mean("total_traffic") > 0
+            assert aggregate.confidence_95("total_traffic") >= 0.0
+        summary = results["naive"].summary()
+        assert "total_traffic" in summary
+
+    def test_confidence_interval_with_multiple_runs(self):
+        selectivities = Selectivities(0.5, 0.5, 0.2)
+        two_run_scale = SCALES["smoke"].__class__(
+            name="two", runs=2, cycles=5, num_nodes=60, long_cycles=10
+        )
+        results = run_comparison(
+            build_query1, algorithms=["naive"],
+            data_selectivities=selectivities, scale=two_run_scale,
+        )
+        aggregate = results["naive"]
+        assert len(aggregate.runs) == 2
+        assert aggregate.confidence_95("total_traffic") >= 0.0
+
+
+class TestReporting:
+    def _fake_results(self):
+        selectivities = Selectivities(0.5, 0.5, 0.2)
+        return run_comparison(
+            build_query1, algorithms=["naive", "base"],
+            data_selectivities=selectivities, scale=SMOKE,
+        )
+
+    def test_results_to_rows_and_format(self):
+        results = self._fake_results()
+        rows = results_to_rows(results, metrics=("total_traffic",), label="1/2:1/2")
+        assert len(rows) == 2
+        assert rows[0]["setting"] == "1/2:1/2"
+        table = format_table(rows, title="Figure X")
+        assert "Figure X" in table
+        assert "naive" in table
+        assert format_table([]) == "(no rows)"
+
+    def test_winner_and_relative(self):
+        results = self._fake_results()
+        best = winner(results)
+        assert best in {"naive", "base"}
+        ratios = relative_to(results, reference="naive")
+        assert ratios["naive"] == pytest.approx(1.0)
+        assert all(v > 0 for v in ratios.values())

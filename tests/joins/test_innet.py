@@ -1,0 +1,183 @@
+"""Tests for the Innet strategy, its variants, learning and failure handling."""
+
+import pytest
+
+from repro.core import Selectivities
+from repro.core.adaptive import AdaptivePolicy
+from repro.joins import InnetJoin, InnetVariant, JoinExecutor, NaiveJoin
+from repro.network.failures import FailureInjector
+from repro.workloads import build_query0
+
+from tests.joins.conftest import make_workload, run_strategy
+
+
+class TestVariantLabels:
+    def test_labels_match_paper_names(self):
+        assert InnetVariant.basic().label == "innet"
+        assert InnetVariant.cm().label == "innet-cm"
+        assert InnetVariant.cmg().label == "innet-cmg"
+        assert InnetVariant.cmp().label == "innet-cmp"
+        assert InnetVariant.cmpg().label == "innet-cmpg"
+        assert InnetVariant.learn().label == "innet-cmpg-learn"
+        assert InnetVariant.learn(InnetVariant.basic()).label.endswith("-learn")
+
+
+class TestPlacementAndPlan:
+    def test_plan_covers_all_statically_joining_pairs(
+        self, topo_small, query1, default_selectivities
+    ):
+        strategy = InnetJoin(InnetVariant.basic())
+        run_strategy(topo_small, query1, strategy, default_selectivities, cycles=5)
+        assert strategy.plan.pairs()
+        for source, target in strategy.plan.pairs():
+            s_attrs = topo_small.nodes[source].static_attributes
+            t_attrs = topo_small.nodes[target].static_attributes
+            assert s_attrs["x"] == t_attrs["y"] + 5
+
+    def test_join_node_on_path_or_base(self, topo_small, query1, default_selectivities):
+        strategy = InnetJoin(InnetVariant.basic())
+        run_strategy(topo_small, query1, strategy, default_selectivities, cycles=2)
+        for pair in strategy.plan.pairs():
+            decision = strategy.plan.decision_for(pair)
+            assert decision.expected_cost <= decision.base_cost + 1e-9
+
+    def test_query0_single_pair(self, topo_small, default_selectivities):
+        ids = [n for n in topo_small.node_ids if n != topo_small.base_id]
+        query0 = build_query0(source_id=ids[0], target_id=ids[-1])
+        strategy = InnetJoin(InnetVariant.basic())
+        report = run_strategy(topo_small, query0, strategy, default_selectivities)
+        assert strategy.plan.pairs() == [(ids[0], ids[-1])]
+        assert report.join_nodes_used == 1
+
+
+class TestVariantAblation:
+    def test_multicast_never_increases_traffic(self, topo100, query2):
+        sel = Selectivities(0.5, 0.5, 0.05)
+        plain = run_strategy(topo100, query2, InnetJoin(InnetVariant.basic()), sel,
+                             cycles=30)
+        cm = run_strategy(topo100, query2, InnetJoin(InnetVariant.cm()), sel,
+                          cycles=30)
+        assert cm.total_traffic <= plain.total_traffic * 1.02
+
+    def test_cmpg_not_worse_than_cmg(self, topo100, query2):
+        """Figure 9: Innet-cmpg is never worse than Innet-cmg."""
+        sel = Selectivities(0.5, 0.5, 0.1)
+        cmg = run_strategy(topo100, query2, InnetJoin(InnetVariant.cmg()), sel,
+                           cycles=30)
+        cmpg = run_strategy(topo100, query2, InnetJoin(InnetVariant.cmpg()), sel,
+                            cycles=30)
+        assert cmpg.total_traffic <= cmg.total_traffic * 1.02
+
+    def test_group_optimization_bounds_cost_by_base(
+        self, topo100, query1, default_selectivities
+    ):
+        """GROUPOPT falls back to the base station when sharing makes the
+        grouped join cheaper, so cmg cannot be much worse than Base-at-100-cycles."""
+        cmg = run_strategy(topo100, query1, InnetJoin(InnetVariant.cmg()),
+                           default_selectivities, cycles=30)
+        naive = run_strategy(topo100, query1, NaiveJoin(),
+                             default_selectivities, cycles=30)
+        assert cmg.total_traffic < naive.total_traffic
+
+    def test_all_variants_same_results(self, topo_small, query1, default_selectivities):
+        counts = set()
+        for variant in (InnetVariant.basic(), InnetVariant.cm(), InnetVariant.cmg(),
+                        InnetVariant.cmpg(), InnetVariant.learn()):
+            report = run_strategy(topo_small, query1, InnetJoin(variant),
+                                  default_selectivities)
+            counts.add(report.results_produced)
+        assert len(counts) == 1
+
+
+class TestAdaptiveLearning:
+    def test_learning_recovers_from_bad_estimates(self, topo100, query1):
+        """Figure 10: with wrong initial estimates, learning reduces traffic."""
+        actual = Selectivities(0.1, 1.0, 0.05)
+        wrong = Selectivities(1.0, 0.1, 0.05)
+        policy = AdaptivePolicy(check_interval=10, min_cycles=10)
+        without = run_strategy(
+            topo100, query1,
+            InnetJoin(InnetVariant.cmpg()), wrong, cycles=120,
+            data_selectivities=actual,
+        )
+        with_learning = run_strategy(
+            topo100, query1,
+            InnetJoin(InnetVariant.learn(), adaptive_policy=policy), wrong, cycles=120,
+            data_selectivities=actual,
+        )
+        assert with_learning.reoptimizations > 0
+        assert with_learning.total_traffic < without.total_traffic
+
+    def test_learning_overhead_small_with_correct_estimates(self, topo100, query1):
+        """Figure 10: with correct estimates the learning overhead is small."""
+        actual = Selectivities(0.5, 0.5, 0.2)
+        plain = run_strategy(topo100, query1, InnetJoin(InnetVariant.cmpg()),
+                             actual, cycles=60)
+        learn = run_strategy(topo100, query1,
+                             InnetJoin(InnetVariant.learn()), actual, cycles=60)
+        assert learn.total_traffic <= plain.total_traffic * 1.35
+
+    def test_window_transferred_on_migration(self, topo_small, query1):
+        """Join-node migration ships the buffered window (Section 6)."""
+        wrong = Selectivities(1.0, 0.1, 0.2)
+        policy = AdaptivePolicy(check_interval=10, min_cycles=10)
+        strategy = InnetJoin(InnetVariant.learn(InnetVariant.basic()),
+                             adaptive_policy=policy)
+        report = run_strategy(topo_small, query1, strategy, wrong, cycles=60)
+        if report.reoptimizations:
+            kinds = report.traffic_by_kind
+            # Window transfers only happen when a join node actually moves;
+            # nominations always accompany re-optimization.
+            assert kinds.get("nominate", 0) > 0
+
+
+class TestFailureHandling:
+    def _query0_with_plan(self, topo, selectivities):
+        ids = sorted(n for n in topo.node_ids if n != topo.base_id)
+        query = build_query0(source_id=ids[2], target_id=ids[-3])
+        data_source = make_workload(topo, query, selectivities)
+        scout = InnetJoin(InnetVariant.basic())
+        JoinExecutor(query, topo.copy(), data_source, scout, selectivities).initiate()
+        return query, data_source, scout.plan
+
+    def test_join_node_failure_recovers_at_base(self, topo_small):
+        sel = Selectivities(1.0, 1.0, 0.2)
+        query, data_source, plan = self._query0_with_plan(topo_small, sel)
+        pair = plan.pairs()[0]
+        join_node = plan.decision_for(pair).join_node
+        if join_node == topo_small.base_id:
+            pytest.skip("join node placed at the base; nothing to fail")
+        injector = FailureInjector()
+        injector.schedule(join_node, sampling_cycle=10)
+        strategy = InnetJoin(InnetVariant.basic())
+        executor = JoinExecutor(
+            query, topo_small.copy(), data_source, strategy, sel,
+            failure_injector=injector,
+        )
+        report = executor.run(40)
+        no_failure = JoinExecutor(
+            query, topo_small.copy(), data_source, InnetJoin(InnetVariant.basic()), sel
+        ).run(40)
+        # The query keeps producing results after the failure ...
+        assert report.results_produced >= 0.6 * no_failure.results_produced
+        # ... the pair now joins at the base ...
+        assert strategy.plan.decision_for(pair).at_base
+        # ... and the recovery shows up as extra result delay (Figure 14a).
+        assert report.average_result_delay_cycles >= no_failure.average_result_delay_cycles
+
+    def test_producer_failure_stops_its_results(self, topo_small, query1):
+        sel = Selectivities(1.0, 1.0, 0.2)
+        strategy = InnetJoin(InnetVariant.basic())
+        data_source = make_workload(topo_small, query1, sel)
+        scout = InnetJoin(InnetVariant.basic())
+        JoinExecutor(query1, topo_small.copy(), data_source, scout, sel).initiate()
+        victim = scout.plan.pairs()[0][0]
+        injector = FailureInjector()
+        injector.schedule(victim, sampling_cycle=3)
+        executor = JoinExecutor(
+            query1, topo_small.copy(), data_source, strategy, sel,
+            failure_injector=injector,
+        )
+        report = executor.run(10)
+        assert report.results_produced >= 0
+        assert not executor.topology.nodes[victim].alive

@@ -1,0 +1,52 @@
+"""Tests for the link model."""
+
+import pytest
+
+from repro.network import LinkModel
+from repro.network.links import lossy_links, perfect_links
+
+
+class TestLinkModel:
+    def test_perfect_links_always_deliver(self):
+        links = perfect_links()
+        for _ in range(100):
+            delivered, attempts = links.attempt_hop()
+            assert delivered
+            assert attempts == 1
+        assert links.expected_attempts() == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            LinkModel(loss_probability=1.0)
+        with pytest.raises(ValueError):
+            LinkModel(loss_probability=-0.1)
+        with pytest.raises(ValueError):
+            LinkModel(loss_probability=0.1, max_retransmissions=-1)
+
+    def test_lossy_links_retry_and_charge(self):
+        links = lossy_links(0.5, seed=42)
+        outcomes = [links.attempt_hop() for _ in range(2000)]
+        total_attempts = sum(a for _, a in outcomes)
+        successes = sum(1 for ok, _ in outcomes if ok)
+        # With 3 retransmissions at 50% loss, ~93.75% of hops succeed.
+        assert successes / len(outcomes) == pytest.approx(0.9375, abs=0.03)
+        assert total_attempts > len(outcomes)
+
+    def test_expected_attempts_matches_simulation(self):
+        links = lossy_links(0.3, seed=7)
+        outcomes = [links.attempt_hop() for _ in range(5000)]
+        simulated = sum(a for _, a in outcomes) / len(outcomes)
+        assert simulated == pytest.approx(links.expected_attempts(), rel=0.05)
+
+    def test_reseed_reproduces_sequence(self):
+        links = lossy_links(0.4, seed=3)
+        first = [links.attempt_hop() for _ in range(50)]
+        links.reseed(3)
+        second = [links.attempt_hop() for _ in range(50)]
+        assert first == second
+
+    def test_zero_retransmissions(self):
+        links = LinkModel(loss_probability=0.5, max_retransmissions=0, seed=1)
+        delivered, attempts = links.attempt_hop()
+        assert attempts == 1
+        assert links.expected_attempts() == pytest.approx(1.0)

@@ -1,0 +1,74 @@
+"""Tests for the message model and size accounting."""
+
+import pytest
+
+from repro.network import Message, MessageKind, MessageSizes
+
+
+class TestMessageSizes:
+    def test_data_tuple_size(self):
+        sizes = MessageSizes()
+        assert sizes.data_tuple(1) == 11 + 2 + 2
+        assert sizes.data_tuple(3) == 11 + 2 + 6
+
+    def test_result_tuple_size(self):
+        sizes = MessageSizes()
+        assert sizes.result_tuple() == 11 + 2 + 4
+
+    def test_explore_size_includes_path_and_summary(self):
+        sizes = MessageSizes()
+        assert sizes.explore(path_len=5) == 11 + 5
+        assert sizes.explore(path_len=5, num_summary_bytes=8) == 11 + 5 + 8
+
+    def test_control_size(self):
+        assert MessageSizes().control(num_fields=3) == 11 + 6
+
+
+class TestMessage:
+    def test_valid_message(self):
+        message = Message(
+            kind=MessageKind.DATA,
+            source=1,
+            destination=3,
+            size_bytes=15,
+            path=[1, 2, 3],
+        )
+        assert message.current_node() == 1
+        assert list(message.remaining_path()) == [2, 3]
+        assert message.latency_cycles is None
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Message(kind=MessageKind.DATA, source=1, destination=2, size_bytes=0)
+
+    def test_path_must_start_at_source(self):
+        with pytest.raises(ValueError):
+            Message(
+                kind=MessageKind.DATA, source=1, destination=3,
+                size_bytes=10, path=[2, 3],
+            )
+
+    def test_path_must_end_at_destination(self):
+        with pytest.raises(ValueError):
+            Message(
+                kind=MessageKind.DATA, source=1, destination=3,
+                size_bytes=10, path=[1, 2],
+            )
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            Message(kind=MessageKind.DATA, source=1, destination=None,
+                    size_bytes=10, path=[])
+
+    def test_latency(self):
+        message = Message(
+            kind=MessageKind.RESULT, source=1, destination=2,
+            size_bytes=10, path=[1, 2], created_cycle=5,
+        )
+        message.delivered_cycle = 9
+        assert message.latency_cycles == 4
+
+    def test_message_ids_unique(self):
+        a = Message(kind=MessageKind.DATA, source=1, destination=None, size_bytes=1)
+        b = Message(kind=MessageKind.DATA, source=1, destination=None, size_bytes=1)
+        assert a.message_id != b.message_id

@@ -1,0 +1,60 @@
+"""Tests for the sensor node model."""
+
+import pytest
+
+from repro.network import SensorNode
+from repro.network.node import base_station
+
+
+class TestSensorNode:
+    def test_defaults_include_id_and_pos(self):
+        node = SensorNode(node_id=3, position=(1.0, 2.0))
+        assert node.get_attribute("id") == 3
+        assert node.get_attribute("pos") == (1.0, 2.0)
+        assert node.alive
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            SensorNode(node_id=-1, position=(0, 0))
+
+    def test_static_shadows_dynamic(self):
+        node = SensorNode(node_id=1, position=(0, 0))
+        node.set_dynamic("u", 10)
+        node.set_static("u", 99)
+        assert node.get_attribute("u") == 99
+        assert node.attributes()["u"] == 99
+
+    def test_missing_attribute_raises(self):
+        node = SensorNode(node_id=1, position=(0, 0))
+        with pytest.raises(KeyError):
+            node.get_attribute("nope")
+        assert not node.has_attribute("nope")
+
+    def test_dynamic_attribute_roundtrip(self):
+        node = SensorNode(node_id=1, position=(0, 0))
+        node.set_dynamic("temp", 21.5)
+        assert node.has_attribute("temp")
+        assert node.get_attribute("temp") == 21.5
+
+    def test_fail_and_recover(self):
+        node = SensorNode(node_id=1, position=(0, 0))
+        node.fail()
+        assert not node.alive
+        node.recover()
+        assert node.alive
+
+    def test_distance(self):
+        a = SensorNode(node_id=1, position=(0.0, 0.0))
+        b = SensorNode(node_id=2, position=(3.0, 4.0))
+        assert a.distance_to(b) == pytest.approx(5.0)
+
+    def test_move_updates_pos_attribute(self):
+        node = SensorNode(node_id=1, position=(0.0, 0.0))
+        node.move_to((5.0, 5.0))
+        assert node.position == (5.0, 5.0)
+        assert node.get_attribute("pos") == (5.0, 5.0)
+
+    def test_base_station_constructor(self):
+        base = base_station(node_id=7, position=(1.0, 1.0))
+        assert base.is_base
+        assert base.node_id == 7

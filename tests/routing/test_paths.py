@@ -1,0 +1,89 @@
+"""Tests for path-vector utilities."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.routing import (
+    compress_path,
+    concatenate_paths,
+    path_load_profile,
+    path_quality_for_pairs,
+    reverse_path,
+)
+from repro.routing.paths import compressed_size_bytes, strip_cycles
+
+
+class TestPathOps:
+    def test_reverse(self):
+        assert reverse_path([1, 2, 3]) == [3, 2, 1]
+
+    def test_concatenate(self):
+        assert concatenate_paths([1, 2, 3], [3, 4]) == [1, 2, 3, 4]
+        assert concatenate_paths([], [3, 4]) == [3, 4]
+        assert concatenate_paths([1, 2], []) == [1, 2]
+
+    def test_concatenate_mismatch(self):
+        with pytest.raises(ValueError):
+            concatenate_paths([1, 2], [3, 4])
+
+    def test_strip_cycles(self):
+        assert strip_cycles([1, 2, 3, 2, 4]) == [1, 2, 4]
+        assert strip_cycles([1, 2, 3]) == [1, 2, 3]
+        assert strip_cycles([]) == []
+        assert strip_cycles([5, 5, 5]) == [5]
+
+    def test_compress_path(self):
+        first, deltas = compress_path([10, 12, 11, 20])
+        assert first == 10
+        assert deltas == [2, -1, 9]
+        assert compress_path([]) == (0, [])
+
+    def test_compressed_size(self):
+        assert compressed_size_bytes([]) == 0
+        assert compressed_size_bytes([5]) == 2
+        assert compressed_size_bytes([5, 6, 7]) == 4
+        # A jump larger than a signed byte costs two bytes.
+        assert compressed_size_bytes([5, 500]) == 4
+
+
+class TestPathQuality:
+    def test_load_profile(self):
+        load = path_load_profile([[1, 2, 3], [2, 3, 4]])
+        assert load == {1: 1, 2: 2, 3: 2, 4: 1}
+
+    def test_quality_metrics(self):
+        quality = path_quality_for_pairs({(1, 3): [1, 2, 3], (4, 5): [4, 5]})
+        assert quality.average_path_length == pytest.approx(1.5)
+        assert quality.max_node_load == 1
+        assert quality.num_pairs == 2
+        assert quality.unreachable_pairs == 0
+
+    def test_quality_with_unreachable(self):
+        quality = path_quality_for_pairs({(1, 3): [1, 2, 3]}, total_pairs=4)
+        assert quality.unreachable_pairs == 3
+        assert quality.as_dict()["num_pairs"] == 4.0
+
+    def test_quality_empty(self):
+        quality = path_quality_for_pairs({})
+        assert quality.average_path_length == 0.0
+        assert quality.max_node_load == 0
+
+
+class TestProperties:
+    @given(st.lists(st.integers(0, 300), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_strip_cycles_no_repeats(self, path):
+        cleaned = strip_cycles(path)
+        assert len(cleaned) == len(set(cleaned))
+        assert cleaned[0] == path[0]
+        assert cleaned[-1] == path[-1]
+
+    @given(st.lists(st.integers(0, 65535), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_compress_roundtrip(self, path):
+        first, deltas = compress_path(path)
+        rebuilt = [first]
+        for delta in deltas:
+            rebuilt.append(rebuilt[-1] + delta)
+        assert rebuilt == path

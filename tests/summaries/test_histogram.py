@@ -1,0 +1,109 @@
+"""Tests for histogram summaries."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.summaries import HistogramSummary
+
+
+class TestBasics:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HistogramSummary(lo=1.0, hi=1.0)
+        with pytest.raises(ValueError):
+            HistogramSummary(lo=0.0, hi=1.0, num_buckets=0)
+
+    def test_counts_accumulate(self):
+        hist = HistogramSummary(0, 10, num_buckets=10)
+        hist.add_all([0.5, 1.5, 1.7, 9.9])
+        assert hist.total == 4
+        assert hist.counts[0] == 1
+        assert hist.counts[1] == 2
+        assert hist.counts[9] == 1
+
+    def test_out_of_range_clamped(self):
+        hist = HistogramSummary(0, 10, num_buckets=5)
+        hist.add(-100)
+        hist.add(100)
+        assert hist.counts[0] == 1
+        assert hist.counts[-1] == 1
+        assert hist.total == 2
+
+    def test_might_contain(self):
+        hist = HistogramSummary(0, 10, num_buckets=10)
+        hist.add(3.2)
+        assert hist.might_contain(3.9)
+        assert not hist.might_contain(7.0)
+
+    def test_merge(self):
+        left = HistogramSummary(0, 10, num_buckets=10)
+        right = HistogramSummary(0, 10, num_buckets=10)
+        left.add_all([1, 2, 3])
+        right.add_all([3, 4])
+        merged = left.merge(right)
+        assert merged.total == 5
+        assert merged.counts[3] == 2
+
+    def test_merge_geometry_mismatch(self):
+        with pytest.raises(ValueError):
+            HistogramSummary(0, 10).merge(HistogramSummary(0, 20))
+
+    def test_merge_type_mismatch(self):
+        from repro.summaries import IntervalSummary
+
+        with pytest.raises(TypeError):
+            HistogramSummary(0, 10).merge(IntervalSummary())
+
+    def test_copy_independent(self):
+        hist = HistogramSummary(0, 10)
+        hist.add(5)
+        clone = hist.copy()
+        clone.add(5)
+        assert hist.total == 1
+        assert clone.total == 2
+
+    def test_size_bytes(self):
+        assert HistogramSummary(0, 10, num_buckets=16).size_bytes() == 36
+
+
+class TestEstimation:
+    def test_selectivity_uniform(self):
+        hist = HistogramSummary(0, 100, num_buckets=10)
+        hist.add_all(range(100))
+        assert hist.selectivity(0, 50) == pytest.approx(0.5, abs=0.05)
+        assert hist.selectivity(0, 100) == pytest.approx(1.0, abs=0.01)
+        assert hist.selectivity(200, 300) == 0.0
+
+    def test_selectivity_empty(self):
+        assert HistogramSummary(0, 10).selectivity(0, 10) == 0.0
+
+    def test_equality_selectivity_with_hint(self):
+        hist = HistogramSummary(0, 10)
+        hist.add_all([1, 2, 3, 4])
+        assert hist.equality_selectivity(distinct_hint=5) == pytest.approx(0.2)
+
+    def test_equality_selectivity_empty(self):
+        assert HistogramSummary(0, 10).equality_selectivity() == 0.0
+
+    def test_mean(self):
+        hist = HistogramSummary(0, 10, num_buckets=10)
+        hist.add_all([5.0] * 10)
+        assert hist.mean() == pytest.approx(5.5)
+        assert HistogramSummary(0, 10).mean() == 0.0
+
+
+class TestProperties:
+    @given(st.lists(st.floats(0, 100, allow_nan=False), max_size=80))
+    @settings(max_examples=50)
+    def test_total_matches_inserts(self, values):
+        hist = HistogramSummary(0, 100, num_buckets=8)
+        hist.add_all(values)
+        assert hist.total == len(values)
+
+    @given(st.lists(st.floats(0, 100, allow_nan=False), min_size=1, max_size=80))
+    @settings(max_examples=50)
+    def test_full_range_selectivity_is_one(self, values):
+        hist = HistogramSummary(0, 100, num_buckets=8)
+        hist.add_all(values)
+        assert hist.selectivity(-1, 101) == pytest.approx(1.0, abs=1e-6)
