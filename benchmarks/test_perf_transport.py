@@ -1,0 +1,119 @@
+"""Micro-benchmarks for the routing/transport performance layer.
+
+Times the two Python-level hot paths every figure benchmark leans on — the
+instant-accounting ``NetworkSimulator.transfer`` and the PathCache-backed
+``Topology.shortest_path``/``shortest_hops`` — plus the lossy batched
+variant, and records the results in ``BENCH_transport.json`` at the repo
+root so future PRs have a perf trajectory to compare against.
+"""
+
+import json
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.network.links import lossy_links
+from repro.network.message import MessageKind
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import grid_topology, random_topology
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_transport.json"
+_RESULTS = {}
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    """Persist the collected timings after the module's benchmarks ran."""
+    yield
+    if not _RESULTS:
+        return
+    payload = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "benchmarks": _RESULTS,
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _record(name, benchmark):
+    stats = benchmark.stats.stats
+    _RESULTS[name] = {
+        "mean_s": stats.mean,
+        "min_s": stats.min,
+        "ops_per_s": 1.0 / stats.mean if stats.mean else None,
+    }
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return grid_topology(num_nodes=100)
+
+
+@pytest.fixture(scope="module")
+def mote():
+    return random_topology(num_nodes=100, average_degree=8.0, seed=2)
+
+
+def test_perf_transfer_heavy(benchmark, mesh):
+    """Charge 1k multi-hop paths per round through the fast path."""
+    simulator = NetworkSimulator(mesh)
+    base = mesh.base_id
+    paths = [mesh.shortest_path(node, base) for node in mesh.node_ids if node != base]
+
+    def run():
+        for _ in range(10):
+            for path in paths:
+                simulator.transfer(path, 24, MessageKind.DATA)
+        return simulator.stats.messages_sent
+
+    assert benchmark(run) > 0
+    _record("transfer_heavy_perfect", benchmark)
+
+
+def test_perf_transfer_lossy(benchmark, mesh):
+    """The batched truncated-geometric sampling path."""
+    simulator = NetworkSimulator(mesh, link_model=lossy_links(0.2, seed=9))
+    base = mesh.base_id
+    paths = [mesh.shortest_path(node, base) for node in mesh.node_ids if node != base]
+
+    def run():
+        for _ in range(10):
+            for path in paths:
+                simulator.transfer(path, 24, MessageKind.DATA)
+        return simulator.stats.messages_sent
+
+    assert benchmark(run) > 0
+    _record("transfer_heavy_lossy", benchmark)
+
+
+def test_perf_shortest_path_heavy(benchmark, mote):
+    """All-pairs-ish path queries served by the PathCache."""
+    nodes = mote.node_ids
+
+    def run():
+        total = 0
+        for source in nodes[::2]:
+            for target in nodes[::3]:
+                path = mote.shortest_path(source, target)
+                if path is not None:
+                    total += len(path)
+        return total
+
+    assert benchmark(run) > 0
+    _record("shortest_path_heavy", benchmark)
+
+
+def test_perf_shortest_hops_invalidation(benchmark, mote):
+    """Worst case: every round invalidates and rebuilds the BFS tables."""
+    nodes = mote.node_ids
+
+    def run():
+        mote.invalidate_routing_caches()
+        total = 0
+        for source in nodes[::10]:
+            total += len(mote.shortest_hops(source))
+        return total
+
+    assert benchmark(run) > 0
+    _record("shortest_hops_cold", benchmark)

@@ -117,9 +117,11 @@ class CentralizedOptimizer:
         window_size: int,
     ) -> Tuple[int, float]:
         """The cost-minimal join node over *all* network nodes."""
-        hops_from_source = self.topology.shortest_hops(source)
-        hops_from_target = self.topology.shortest_hops(target)
-        hops_from_base = self.topology.shortest_hops(self.topology.base_id)
+        # Read-only views of the topology's cached BFS tables: across a batch
+        # of pairs the per-endpoint and base tables are computed only once.
+        hops_from_source = self.topology.shortest_hops_view(source)
+        hops_from_target = self.topology.shortest_hops_view(target)
+        hops_from_base = self.topology.shortest_hops_view(self.topology.base_id)
         best_node = self.topology.base_id
         best_cost = float("inf")
         for node_id in self.topology.node_ids:

@@ -8,6 +8,38 @@ traffic metrics with 95 % confidence intervals (the paper averages across 9
 runs).  This module provides those building blocks plus a scale knob so the
 same experiments can run as quick benchmarks (``smoke``), at a sensible
 default, or at the paper's full scale (``paper``).
+
+Performance
+-----------
+The harness sits on a performance layer that keeps figure sweeps fast
+without changing any result:
+
+* **Routing cache.**  Every :class:`~repro.network.topology.Topology` owns an
+  epoch-guarded :class:`~repro.network.topology.PathCache`: single-source BFS
+  hop/parent tables, reconstructed shortest paths and a precomputed
+  alive-adjacency structure.  The epoch is bumped by link surgery
+  (``remove_links_of`` / ``rebuild_links_of``), node death/recovery/moves and
+  explicit ``invalidate_routing_caches()`` calls, so failure (Fig 14) and
+  mobility (App G) experiments always recompute affected routes.  On perfect
+  links, cached and uncached runs produce bit-identical traffic statistics;
+  BFS discovery order matches the uncached implementation exactly.
+* **Vectorized transport.**  ``NetworkSimulator.transfer`` charges a whole
+  path with one accounting call (``TrafficStats.charge_path``) and draws
+  lossy-hop outcomes in one batched truncated-geometric sample
+  (``LinkModel.attempt_hops``).  Traffic units are integer-valued, so the
+  aggregation is exact; lossy runs remain deterministic per seed (one draw
+  per hop instead of one per attempt -- statistically equivalent).  Pass
+  ``fast_transport=False`` to the simulator to force the per-hop reference
+  path.
+* **Shared workload state.**  ``build_topology`` memoizes generated
+  deployments (treat them as read-only; ``run_single`` copies only when a
+  failure injector will mutate the topology), and per-cycle producer samples
+  are memoized on the data source and shared by every strategy run against
+  it -- data sources are pure functions of (seed, node, cycle).
+
+The ``REPRO_SCALE`` environment variable selects the scale preset (``smoke``,
+``default`` or ``paper``); with this layer the ``paper`` sweep (9 runs x
+100-800 cycles x 15 selectivity settings) is laptop-feasible.
 """
 
 from __future__ import annotations
@@ -130,13 +162,33 @@ MESH_ALGORITHMS = ["naive", "base", "dht", "innet-cmg"]
 # workload construction
 # ---------------------------------------------------------------------------
 
+#: Memoized Table-1-attributed topologies, keyed (preset, seed, num_nodes).
+#: Generation (and warming the topology's PathCache) is by far the most
+#: expensive part of a figure sweep, and every figure rebuilds the same
+#: deployment, so the instances are shared.  They must be treated as
+#: read-only; run_single copies before any mutating experiment (failures).
+_TOPOLOGY_CACHE: Dict[Tuple[str, int, int], Topology] = {}
+
+
 def build_topology(scale: ExperimentScale, preset: str = "moderate",
-                   seed: int = 0, num_nodes: Optional[int] = None) -> Topology:
-    """A Table-1-attributed topology of the requested density."""
-    topo = topology_from_preset(
-        preset, num_nodes=num_nodes or scale.num_nodes, seed=seed
-    )
+                   seed: int = 0, num_nodes: Optional[int] = None,
+                   fresh: bool = False) -> Topology:
+    """A Table-1-attributed topology of the requested density.
+
+    Returns a memoized shared instance (treat it as read-only) unless
+    ``fresh`` is set.  Topology generation and attribute assignment are
+    deterministic in (preset, seed, num_nodes), so sharing does not change
+    any experiment's results.
+    """
+    key = (preset, seed, num_nodes or scale.num_nodes)
+    if not fresh:
+        cached = _TOPOLOGY_CACHE.get(key)
+        if cached is not None:
+            return cached
+    topo = topology_from_preset(preset, num_nodes=key[2], seed=seed)
     assign_table1_attributes(topo, seed=seed)
+    if not fresh:
+        _TOPOLOGY_CACHE[key] = topo
     return topo
 
 
@@ -245,12 +297,20 @@ def run_single(
     failure_injector: Optional[FailureInjector] = None,
     queue_capacity: Optional[int] = None,
     strategy_kwargs: Optional[Dict] = None,
+    copy_topology: Optional[bool] = None,
 ) -> RunResult:
-    """One run of one algorithm on a fresh copy of the topology."""
+    """One run of one algorithm.
+
+    The topology (and its warmed PathCache) is shared across seeded runs:
+    a copy is only taken when the run will mutate it, i.e. when a failure
+    injector is present (``copy_topology`` overrides the auto-detection).
+    """
+    if copy_topology is None:
+        copy_topology = failure_injector is not None and not failure_injector.is_empty()
     strategy = make_strategy(algorithm, **(strategy_kwargs or {}))
     executor = JoinExecutor(
         query=query,
-        topology=topology.copy(),
+        topology=topology.copy() if copy_topology else topology,
         data_source=data_source,
         strategy=strategy,
         assumed_selectivities=assumed_selectivities,

@@ -47,7 +47,15 @@ class ProducerSample:
     values: Dict[str, Any]
 
     def as_windowed_tuple(self) -> WindowedTuple:
-        return WindowedTuple(producer_id=self.node_id, cycle=self.cycle, values=self.values)
+        # Memoized: the same sample is converted once and the (immutable)
+        # WindowedTuple is shared by every pair window it is probed into.
+        cached = self.__dict__.get("_windowed")
+        if cached is None:
+            cached = WindowedTuple(
+                producer_id=self.node_id, cycle=self.cycle, values=self.values
+            )
+            object.__setattr__(self, "_windowed", cached)
+        return cached
 
 
 @dataclass
@@ -89,22 +97,83 @@ class ExecutionContext:
     def sample_producers(
         self, cycle: int, eligible: Dict[str, Sequence[int]]
     ) -> List[ProducerSample]:
-        """Readings of every eligible, alive producer that sends this cycle."""
+        """Readings of every eligible, alive producer that sends this cycle.
+
+        Data sources are deterministic functions of (seed, node, cycle), so
+        the per-cycle sample lists are memoized on the data source and shared
+        by every strategy run against it.  Cached entries ignore liveness
+        (aliveness is filtered per call against the topology's current alive
+        set) and are keyed on the topology's identity and routing epoch, so
+        failure and mobility experiments -- including ones running on
+        separate topology copies -- never see stale values.  Samples and
+        their value dicts are treated as immutable by all consumers.
+        """
+        cache = getattr(self.data_source, "_producer_sample_cache", None)
+        if cache is None:
+            try:
+                self.data_source._producer_sample_cache = cache = {}
+                # Keys include id(topology); pinning the topology keeps the
+                # id from being reused while this cache is alive.
+                self.data_source._producer_sample_pins = {}
+            except AttributeError:  # exotic data sources without __dict__
+                cache = None
+        if cache is not None:
+            if len(cache) > 8192:
+                # Bound memory for data sources reused across many topology
+                # copies (failure sweeps): those runs never hit the cache, so
+                # dropping it costs nothing.
+                cache.clear()
+                self.data_source._producer_sample_pins.clear()
+            self.data_source._producer_sample_pins.setdefault(
+                id(self.topology), self.topology
+            )
+        if self.topology.routing_cache_enabled:
+            alive = self.topology.routing_cache.alive_set
+        else:
+            nodes_map = self.topology.nodes
+            alive = frozenset(n for n, node in nodes_map.items() if node.alive)
+        none_dead = len(alive) == len(self.topology.nodes)
+        sample_many = getattr(self.data_source, "sample_many", None)
         samples: List[ProducerSample] = []
         for alias, node_ids in eligible.items():
-            for node_id in node_ids:
-                node = self.topology.nodes[node_id]
-                if not node.alive:
-                    continue
-                dynamic = self.data_source.sample(node_id, cycle)
-                merged = dict(node.static_attributes)
-                merged.update(dynamic)
-                if self.analysis.producer_sends(alias, merged):
-                    samples.append(
-                        ProducerSample(alias=alias, node_id=node_id, cycle=cycle,
-                                       values=merged)
-                    )
+            key = (
+                id(self.topology), self.query.name, alias, cycle,
+                tuple(node_ids), self.topology.routing_epoch,
+            )
+            entry = cache.get(key) if cache is not None else None
+            if entry is None:
+                nodes = self.topology.nodes
+                if sample_many is not None:
+                    dynamics = sample_many(node_ids, cycle)
+                else:
+                    dynamics = [
+                        self.data_source.sample(node_id, cycle)
+                        for node_id in node_ids
+                    ]
+                built: List[ProducerSample] = []
+                sends = self.analysis.producer_sends
+                for node_id, dynamic in zip(node_ids, dynamics):
+                    merged = dict(nodes[node_id].static_attributes)
+                    merged.update(dynamic)
+                    if sends(alias, merged):
+                        built.append(
+                            ProducerSample(alias=alias, node_id=node_id,
+                                           cycle=cycle, values=merged)
+                        )
+                entry = tuple(built)
+                if cache is not None:
+                    cache[key] = entry
+            if none_dead:
+                samples.extend(entry)
+            else:
+                samples.extend(s for s in entry if s.node_id in alive)
         return samples
+
+    def __post_init__(self) -> None:
+        # Bound once: windowed-join probes call this hundreds of thousands of
+        # times per run; the analysis compiles the dynamic join clauses into
+        # a specialized two-argument closure.
+        self.tuples_join = self.analysis.compiled_tuples_join()
 
     # -- traffic helpers -------------------------------------------------------
     def data_tuple_size(self) -> int:
@@ -122,7 +191,9 @@ class ExecutionContext:
         """Send a message along a path (instant accounting)."""
         if len(path) <= 1:
             return True
-        return self.simulator.transfer(list(path), size_bytes, kind)
+        # transfer() never stores or mutates the path (Message construction
+        # copies it), so shipping avoids a defensive copy per call.
+        return self.simulator.transfer(path, size_bytes, kind)
 
 
 @dataclass
@@ -230,8 +301,11 @@ class JoinStrategy(ABC):
         return state
 
     def _track_storage(self) -> None:
-        tuples = sum(state.buffered_tuple_count() for state in self.pair_states.values())
-        self.storage_peak = max(self.storage_peak, tuples)
+        total = 0
+        for state in self.pair_states.values():
+            total += state.buffered_tuple_count()
+        if total > self.storage_peak:
+            self.storage_peak = total
 
     def _probe_pair(
         self,
@@ -242,11 +316,7 @@ class JoinStrategy(ABC):
     ) -> int:
         """Insert a sample into a pair's window and count join results."""
         state = self._state_for(pair, ctx.query.window_size)
-        results = state.probe(
-            from_source,
-            sample.as_windowed_tuple(),
-            lambda s_values, t_values: ctx.analysis.tuples_join(s_values, t_values),
-        )
+        results = state.probe(from_source, sample.as_windowed_tuple(), ctx.tuples_join)
         return len(results)
 
     def join_nodes_used(self) -> int:

@@ -39,6 +39,8 @@ class GHTJoin(JoinStrategy):
         self._eligible: Dict[str, List[int]] = {}
         #: producer (alias, node) -> keys it must send its tuples to
         self._keys_of: Dict[Tuple[str, int], List[Key]] = {}
+        #: the same, deduplicated once at initiation (hot-loop view)
+        self._unique_keys_of: Dict[Tuple[str, int], Tuple[Key, ...]] = {}
         #: (key, alias, node) -> pairs probed when this producer's tuple arrives
         self._pairs_at_key: Dict[Tuple[Key, str, int], List[Pair]] = {}
         #: key -> home (join) node
@@ -66,6 +68,10 @@ class GHTJoin(JoinStrategy):
                 "routable static join predicate"
             )
         self._assign_keys(ctx, routing)
+        self._unique_keys_of = {
+            producer: tuple(dict.fromkeys(keys))
+            for producer, keys in self._keys_of.items()
+        }
         self._resolve_home_nodes(ctx)
         self._charge_initiation(ctx)
 
@@ -155,15 +161,13 @@ class GHTJoin(JoinStrategy):
             self._result_path[home] = self.tree.path_to_root(home)
 
     def _route_to(self, ctx: ExecutionContext, producer: int, home: int) -> List[int]:
+        # Both variants route to the actual home node (greedy_route targets
+        # the key's hash, so its walk is not what gets charged); the path
+        # comes from the topology's epoch-guarded PathCache and is pinned
+        # here so a pair keeps using one route until a failure re-homes it.
         cached = self._route_cache.get((producer, home))
         if cached is None:
-            if self.use_dht:
-                cached = ctx.topology.shortest_path(producer, home) or [producer]
-            else:
-                path = self.hash_substrate.greedy_route(producer, ("home", home))
-                # greedy_route targets the key's hash; route to the actual home
-                # node explicitly instead so caching stays consistent.
-                cached = ctx.topology.shortest_path(producer, home) or [producer]
+            cached = ctx.topology.shortest_path(producer, home) or [producer]
             self._route_cache[(producer, home)] = cached
         return cached
 
@@ -184,7 +188,7 @@ class GHTJoin(JoinStrategy):
         result_size = ctx.result_tuple_size()
         for sample in samples:
             producer_key = (sample.alias, sample.node_id)
-            for key in set(self._keys_of.get(producer_key, [])):
+            for key in self._unique_keys_of.get(producer_key, ()):
                 home = self._home_of[key]
                 path = self._route_to(ctx, sample.node_id, home)
                 if not ctx.ship(path, data_size, MessageKind.DATA):

@@ -206,6 +206,12 @@ class InnetJoin(JoinStrategy):
                 ctx.topology.nodes[target].static_attributes,
             )
 
+        # The probe/match closures below are pure functions of the query and
+        # the deployment, so the traversals are memoized on the topology and
+        # replayed for repeat runs.  The token keys on id(query); pinning the
+        # query object on the topology keeps that id from being reused.
+        pins = ctx.topology.__dict__.setdefault("_exploration_pins", {})
+        pins.setdefault(id(ctx.query), ctx.query)
         if isinstance(routing, EqualityRouting):
             attr = routing.indexed_attribute
             for source in self._eligible[source_alias]:
@@ -223,6 +229,7 @@ class InnetJoin(JoinStrategy):
                     ),
                     simulator=ctx.simulator,
                     max_trees=2,
+                    cache_token=("eq", id(ctx.query), source, attr, required),
                 )
                 for target, paths in result.paths.items():
                     candidate_paths[(source, target)] = paths
@@ -242,6 +249,7 @@ class InnetJoin(JoinStrategy):
                     ),
                     simulator=ctx.simulator,
                     max_trees=2,
+                    cache_token=("region", id(ctx.query), source, radius),
                 )
                 for target, paths in result.paths.items():
                     candidate_paths[(source, target)] = paths
@@ -326,6 +334,8 @@ class InnetJoin(JoinStrategy):
 
         self._finish_recoveries(ctx, cycle, produced_at)
 
+        recovering = self._recovering or None
+        assignments = self.plan.assignments
         for sample in samples:
             producer_key = (sample.alias, sample.node_id)
             pairs = self._pairs_of.get(producer_key)
@@ -335,13 +345,13 @@ class InnetJoin(JoinStrategy):
             if self.variant.multicast and producer_key in self._multicast:
                 tree = self._multicast[producer_key]
                 for parent, child in tree.edges():
-                    ctx.ship([parent, child], data_size, MessageKind.DATA)
+                    ctx.ship((parent, child), data_size, MessageKind.DATA)
                 shipped_join_nodes = set(tree.destinations)
             for pair in pairs:
-                if self._recovering.get(pair, -1) > cycle:
+                if recovering is not None and recovering.get(pair, -1) > cycle:
                     self._backlog.setdefault(pair, []).append((sample.alias, sample))
                     continue
-                decision = self.plan.decision_for(pair)
+                decision = assignments[pair].decision
                 if decision.join_node not in shipped_join_nodes:
                     # The tuple travels to each *distinct* join node once; all
                     # pairs the producer has at that node share the message.
@@ -371,11 +381,7 @@ class InnetJoin(JoinStrategy):
         cycle: int,
     ) -> List[int]:
         state = self._state_for(pair, ctx.query.window_size)
-        matches = state.probe(
-            from_source,
-            sample.as_windowed_tuple(),
-            lambda s_values, t_values: ctx.analysis.tuples_join(s_values, t_values),
-        )
+        matches = state.probe(from_source, sample.as_windowed_tuple(), ctx.tuples_join)
         delays = [max(0, cycle - max(s.cycle, t.cycle)) for s, t in matches]
         if self.variant.learning and pair in self._learning:
             observation = self._learning[pair].observation
@@ -586,11 +592,7 @@ class InnetJoin(JoinStrategy):
                 if not ctx.ship(path, data_size, MessageKind.DATA):
                     continue
                 state = self.pair_states[pair]
-                matches = state.probe(
-                    alias == source_alias,
-                    tup,
-                    lambda s_values, t_values: ctx.analysis.tuples_join(s_values, t_values),
-                )
+                matches = state.probe(alias == source_alias, tup, ctx.tuples_join)
                 delays = [max(0, cycle - max(s.cycle, t.cycle)) for s, t in matches]
                 if delays:
                     produced_at.setdefault(base_decision.join_node, []).extend(delays)

@@ -35,7 +35,16 @@ class MulticastTree:
         return len(self.parent)
 
     def edges(self) -> List[Tuple[int, int]]:
-        return [(parent, child) for child, parent in self.parent.items()]
+        """(parent, child) transmission edges; cached once the tree is built.
+
+        The cache refreshes if edges are added after the first call (guarded
+        by the edge count); callers must not mutate the returned list.
+        """
+        cached = self.__dict__.get("_edges_cache")
+        if cached is None or len(cached) != len(self.parent):
+            cached = [(parent, child) for child, parent in self.parent.items()]
+            self.__dict__["_edges_cache"] = cached
+        return cached
 
     def path_from_root(self, destination: int) -> List[int]:
         """The tree path from the root down to *destination*."""
@@ -120,6 +129,20 @@ def collapse_paths(
     if len(collapsed) < 2:
         return collapsed
 
+    # Collapsing is deterministic in (connectivity, root, paths) and the same
+    # producer keeps the same delivery paths across runs, so the result is
+    # memoized per topology (keyed on its routing epoch).
+    cache = topology.__dict__.setdefault("_collapse_cache", {})
+    if len(cache) > 4096:  # bound memory on long-lived shared topologies
+        cache.clear()
+    cache_key = (
+        topology.routing_epoch, root, improvement_threshold,
+        tuple(tuple(path) for path in paths),
+    )
+    cached = cache.get(cache_key)
+    if cached is not None:
+        return [list(path) for path in cached]
+
     improved = True
     while improved:
         improved = False
@@ -140,6 +163,7 @@ def collapse_paths(
                     break
             if improved:
                 break
+    cache[cache_key] = tuple(tuple(path) for path in collapsed)
     return collapsed
 
 

@@ -55,6 +55,12 @@ class FailureInjector:
             if node is not None and node.alive:
                 node.fail()
                 failed.append(node_id)
+        if failed:
+            # node.fail() already notifies the owning topology, but a node can
+            # be shared between topologies (only the last owner gets the
+            # callback) -- invalidate explicitly so routing caches never serve
+            # paths through the dead nodes.
+            topology.invalidate_routing_caches()
         return failed
 
     def all_failed_by(self, sampling_cycle: int) -> List[int]:

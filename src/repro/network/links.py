@@ -63,6 +63,28 @@ class LinkModel:
                 return True, attempts
         return False, attempts
 
+    def attempt_hops(self, count: int) -> tuple:
+        """Vectorized :meth:`attempt_hop` for *count* consecutive hops.
+
+        Returns ``(delivered, attempts)`` as numpy arrays of length *count*.
+        Each hop draws one truncated-geometric sample: ``attempts`` is the
+        number of transmissions made (capped at ``max_retransmissions + 1``)
+        and ``delivered`` whether the hop succeeded within the cap.  The
+        distribution is exactly the one :meth:`attempt_hop` realizes with
+        per-attempt draws; only the underlying RNG stream differs, so lossy
+        runs are statistically equivalent and still deterministic per seed.
+        """
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        if self.loss_probability == 0.0:
+            return (
+                np.ones(count, dtype=bool),
+                np.ones(count, dtype=np.int64),
+            )
+        limit = self.max_retransmissions + 1
+        trials = self._rng.geometric(1.0 - self.loss_probability, size=count)
+        return trials <= limit, np.minimum(trials, limit)
+
     def expected_attempts(self) -> float:
         """Expected transmissions per successful hop (for analytic checks)."""
         if self.loss_probability == 0.0:

@@ -17,6 +17,11 @@ from typing import Any, Dict, List, Optional, Sequence
 class MessageKind(Enum):
     """Role of a message; used for traffic breakdowns and queue policies."""
 
+    # Enum.__hash__ is a Python-level function; members are singletons, so
+    # identity hashing is equivalent and keeps the per-hop traffic
+    # accounting (dicts keyed by kind) at C speed.
+    __hash__ = object.__hash__
+
     DATA = "data"                    # producer readings flowing to a join node
     RESULT = "result"                # join results flowing to the base station
     EXPLORE = "explore"              # initiation-time path exploration

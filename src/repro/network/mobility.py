@@ -32,12 +32,30 @@ class MobilityEvent:
 
 
 def is_leaf(topology: Topology, node_id: int) -> bool:
-    """A node is a (topology) leaf if removing it keeps the network connected."""
+    """A node is a (topology) leaf if removing it keeps the network connected.
+
+    Runs the connectivity BFS directly on the topology with *node_id*
+    excluded instead of failing the node on a full copy, which keeps leaf
+    probing cheap on large deployments.
+    """
     if node_id == topology.base_id:
         return False
-    probe = topology.copy()
-    probe.nodes[node_id].fail()
-    return probe.is_connected()
+    eligible = {
+        nid for nid, node in topology.nodes.items()
+        if node.alive and nid != node_id
+    }
+    if not eligible:
+        return True
+    start = next(iter(eligible))
+    seen = {start}
+    frontier = [start]
+    while frontier:
+        current = frontier.pop()
+        for neighbour in topology.adjacency.get(current, ()):
+            if neighbour in eligible and neighbour not in seen:
+                seen.add(neighbour)
+                frontier.append(neighbour)
+    return len(seen) == len(eligible)
 
 
 def move_leaf_node(

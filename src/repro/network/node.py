@@ -39,6 +39,11 @@ class SensorNode:
     dynamic_attributes: Dict[str, Any] = field(default_factory=dict)
     alive: bool = True
 
+    #: Set by the owning :class:`~repro.network.topology.Topology` so that
+    #: liveness/position changes invalidate its routing caches.  Class-level
+    #: (not a dataclass field) so the constructor signature is unchanged.
+    _state_listener = None
+
     def __post_init__(self) -> None:
         if self.node_id < 0:
             raise ValueError("node_id must be non-negative")
@@ -74,12 +79,19 @@ class SensorNode:
         return merged
 
     # -- lifecycle -------------------------------------------------------------
+    def _notify_state_change(self) -> None:
+        listener = self._state_listener
+        if listener is not None:
+            listener()
+
     def fail(self) -> None:
         """Permanently fail the node (battery depletion, crash, obstruction)."""
         self.alive = False
+        self._notify_state_change()
 
     def recover(self) -> None:
         self.alive = True
+        self._notify_state_change()
 
     def distance_to(self, other: "SensorNode") -> float:
         """Euclidean distance in metres to another node."""
@@ -91,6 +103,7 @@ class SensorNode:
         """Relocate the node (mobility support, Appendix G)."""
         self.position = position
         self.static_attributes["pos"] = position
+        self._notify_state_change()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         role = "base" if self.is_base else "node"

@@ -22,6 +22,8 @@ from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence
 
+import numpy as np
+
 from repro.network.links import LinkModel, perfect_links
 from repro.network.message import Message, MessageKind, MessageSizes
 from repro.network.topology import Topology
@@ -73,6 +75,12 @@ class NetworkSimulator:
         Optional per-node forwarding-queue bound (messages per sampling
         cycle).  Used to reproduce the routing-queue overflow of Yang+07
         reported in Section 4.2.  ``None`` means unbounded.
+    fast_transport:
+        Enable the flyweight :meth:`transfer` fast path (batched link
+        sampling plus one vectorized accounting call per path).  On by
+        default; disable to force the per-hop reference implementation, e.g.
+        for equivalence tests.  On perfect links both paths produce
+        bit-identical traffic statistics.
     """
 
     def __init__(
@@ -83,9 +91,11 @@ class NetworkSimulator:
         sizes: Optional[MessageSizes] = None,
         transmission_cycles_per_sample: int = 100,
         queue_capacity: Optional[int] = None,
+        fast_transport: bool = True,
     ) -> None:
         self.topology = topology
         self.links = link_model or perfect_links()
+        self.fast_transport = fast_transport
         self.sizes = sizes or MessageSizes()
         self.stats = TrafficStats(accounting=accounting)
         self.clock = SimulationClock(
@@ -100,6 +110,22 @@ class NetworkSimulator:
         # Per-sampling-cycle forwarding counters for queue enforcement in
         # instant-accounting mode.
         self._cycle_forwarded: Dict[int, int] = defaultdict(int)
+        # Local mirror of the topology's alive set, refreshed per epoch, so
+        # the transfer fast path skips the cache-property indirection.
+        self._alive_epoch = -1
+        self._alive_set: frozenset = frozenset()
+
+    def _current_alive_set(self) -> frozenset:
+        topology = self.topology
+        if not topology.routing_cache_enabled:
+            return frozenset(
+                nid for nid, node in topology.nodes.items() if node.alive
+            )
+        if topology.routing_epoch != self._alive_epoch:
+            cache = topology.routing_cache
+            self._alive_set = cache.alive_set
+            self._alive_epoch = cache.epoch
+        return self._alive_set
 
     # ------------------------------------------------------------------
     # handler registration
@@ -135,11 +161,34 @@ class NetworkSimulator:
         from the link model).  Returns ``True`` if the message reached the end
         of the path, ``False`` if a hop failed or a queue overflowed.
         """
-        if len(path) < 1:
+        num_hops = len(path) - 1
+        if num_hops < 0:
             raise ValueError("path must contain at least one node")
-        if len(path) == 1:
+        if num_hops == 0:
             return True
-        for index in range(len(path) - 1):
+        # Flyweight fast path: when no per-hop queue bookkeeping is needed and
+        # every node on the path is alive, the whole path is charged with one
+        # vectorized accounting call (and, on lossy links, one batched draw
+        # from the link model) instead of per-hop loop iterations.
+        if self.fast_transport and self.queue_capacity is None:
+            if self._current_alive_set().issuperset(path):
+                if self.links.loss_probability == 0.0:
+                    self.stats.charge_path(path, size_bytes, kind)
+                else:
+                    delivered, attempts = self.links.attempt_hops(num_hops)
+                    if not delivered.all():
+                        failed_at = int(np.argmax(~delivered))
+                        self.stats.charge_path(
+                            path, size_bytes, kind,
+                            attempts=attempts, num_hops=failed_at + 1,
+                        )
+                        self.stats.charge_drop()
+                        return False
+                    self.stats.charge_path(path, size_bytes, kind, attempts=attempts)
+                if deliver:
+                    self._deliver_instant(path, size_bytes, kind, payload)
+                return True
+        for index in range(num_hops):
             sender = path[index]
             receiver = path[index + 1]
             if not self.topology.nodes[sender].alive or not self.topology.nodes[receiver].alive:
@@ -156,33 +205,46 @@ class NetworkSimulator:
                 self.stats.charge_drop()
                 return False
         if deliver:
-            message = Message(
-                kind=kind,
-                source=path[0],
-                destination=path[-1],
-                size_bytes=size_bytes,
-                payload=payload or {},
-                path=list(path),
-                created_cycle=self.clock.total_transmission_cycles,
-            )
-            message.hops_taken = len(path) - 1
-            message.delivered_cycle = self.clock.total_transmission_cycles
-            self._deliver(message)
+            self._deliver_instant(path, size_bytes, kind, payload)
         return True
+
+    def _deliver_instant(
+        self,
+        path: Sequence[int],
+        size_bytes: int,
+        kind: MessageKind,
+        payload: Optional[dict],
+    ) -> None:
+        message = Message(
+            kind=kind,
+            source=path[0],
+            destination=path[-1],
+            size_bytes=size_bytes,
+            payload=payload or {},
+            path=list(path),
+            created_cycle=self.clock.total_transmission_cycles,
+        )
+        message.hops_taken = len(path) - 1
+        message.delivered_cycle = self.clock.total_transmission_cycles
+        self._deliver(message)
 
     def broadcast(
         self, node_id: int, size_bytes: int, kind: MessageKind = MessageKind.CONTROL
     ) -> List[int]:
-        """One local broadcast: a single transmission heard by all neighbours."""
+        """One local broadcast: a single transmission heard by all neighbours.
+
+        Only *alive* neighbours are charged received traffic: dead nodes have
+        no radio, so they must not accumulate load (the cached alive adjacency
+        is epoch-validated, so this holds after failures and mobility too).
+        """
         if not self.topology.nodes[node_id].alive:
             return []
-        neighbours = self.topology.neighbors(node_id)
-        self.stats.charge_transmission(node_id, size_bytes, kind)
-        for neighbour in neighbours:
-            self.stats.received[neighbour] += (
-                size_bytes if self.stats.accounting is TrafficAccounting.BYTES else 1.0
-            )
-        return neighbours
+        if self.topology.routing_cache_enabled:
+            neighbours = self.topology.routing_cache.alive_adjacency.get(node_id, [])
+        else:
+            neighbours = self.topology.neighbors(node_id)
+        self.stats.charge_broadcast(node_id, size_bytes, kind, neighbours)
+        return list(neighbours)
 
     def flood(
         self, origin: int, size_bytes: int, kind: MessageKind = MessageKind.CONTROL
@@ -191,16 +253,24 @@ class NetworkSimulator:
         visited = set()
         frontier = [origin]
         transmissions = 0
+        if self.topology.routing_cache_enabled:
+            alive_adjacency = self.topology.routing_cache.alive_adjacency
+        else:
+            alive_adjacency = {
+                nid: self.topology.neighbors(nid) for nid in self.topology.nodes
+            }
         while frontier:
             next_frontier: List[int] = []
+            queued = set()  # dedupe: large topologies otherwise rescan nodes
             for node_id in frontier:
                 if node_id in visited or not self.topology.nodes[node_id].alive:
                     continue
                 visited.add(node_id)
                 self.broadcast(node_id, size_bytes, kind)
                 transmissions += 1
-                for neighbour in self.topology.neighbors(node_id):
-                    if neighbour not in visited:
+                for neighbour in alive_adjacency.get(node_id, ()):
+                    if neighbour not in visited and neighbour not in queued:
+                        queued.add(neighbour)
                         next_frontier.append(neighbour)
             frontier = next_frontier
         return transmissions

@@ -16,7 +16,7 @@ and re-sampled if the resulting graph is disconnected.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import ClassVar, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
 import numpy as np
 
@@ -29,6 +29,100 @@ DENSITY_PRESETS: Dict[str, float] = {
     "medium": 8.0,
     "dense": 13.0,
 }
+
+
+class PathCache:
+    """Epoch-guarded routing cache for one :class:`Topology`.
+
+    Memoizes, per source node, the single-source BFS hop table and parent
+    table over the *alive* subgraph, plus reconstructed shortest paths, and
+    keeps a precomputed alive-adjacency structure so ``neighbors()`` stops
+    filtering and sorting on every call.
+
+    Every structure is validated against the owning topology's routing epoch,
+    which is bumped by ``remove_links_of`` / ``rebuild_links_of``, by node
+    death/recovery/moves (via the :class:`~repro.network.node.SensorNode`
+    state listener) and by explicit ``invalidate_routing_caches()`` calls, so
+    failure and mobility experiments always see fresh tables.
+
+    BFS discovery order matches the uncached implementation exactly (frontier
+    order, sorted adjacency), so cached paths and hop tables are identical to
+    the ones the seed code computed from scratch.
+    """
+
+    __slots__ = (
+        "_topology", "epoch", "alive_set", "alive_adjacency",
+        "_hops", "_parents", "_paths",
+    )
+
+    def __init__(self, topology: "Topology") -> None:
+        self._topology = topology
+        self.epoch = -1
+        self.alive_set: frozenset = frozenset()
+        self.alive_adjacency: Dict[int, List[int]] = {}
+        self._hops: Dict[int, Dict[int, int]] = {}
+        self._parents: Dict[int, Dict[int, int]] = {}
+        self._paths: Dict[Tuple[int, int], Optional[Tuple[int, ...]]] = {}
+
+    # ------------------------------------------------------------------
+    def validate(self) -> "PathCache":
+        """Rebuild the alive structures and drop BFS tables if stale."""
+        topology = self._topology
+        epoch = topology.routing_epoch
+        if epoch != self.epoch:
+            nodes = topology.nodes
+            alive = frozenset(nid for nid, node in nodes.items() if node.alive)
+            self.alive_set = alive
+            self.alive_adjacency = {
+                nid: sorted(n for n in neighbours if n in alive)
+                for nid, neighbours in topology.adjacency.items()
+            }
+            self._hops.clear()
+            self._parents.clear()
+            self._paths.clear()
+            self.epoch = epoch
+        return self
+
+    # ------------------------------------------------------------------
+    def bfs_tables(self, source: int) -> Tuple[Dict[int, int], Dict[int, int]]:
+        """Memoized (hops, parents) tables of a BFS over the alive subgraph."""
+        hops = self._hops.get(source)
+        if hops is None:
+            adjacency = self.alive_adjacency
+            hops = {source: 0}
+            parents = {source: source}
+            frontier = [source]
+            depth = 0
+            while frontier:
+                depth += 1
+                next_frontier: List[int] = []
+                for current in frontier:
+                    for neighbour in adjacency.get(current, ()):
+                        if neighbour not in hops:
+                            hops[neighbour] = depth
+                            parents[neighbour] = current
+                            next_frontier.append(neighbour)
+                frontier = next_frontier
+            self._hops[source] = hops
+            self._parents[source] = parents
+        return hops, self._parents[source]
+
+    def path(self, source: int, target: int) -> Optional[Tuple[int, ...]]:
+        """Memoized minimum-hop path (as a tuple), or ``None``."""
+        key = (source, target)
+        if key in self._paths:
+            return self._paths[key]
+        _, parents = self.bfs_tables(source)
+        if target not in parents:
+            self._paths[key] = None
+            return None
+        path = [target]
+        while path[-1] != source:
+            path.append(parents[path[-1]])
+        path.reverse()
+        result = tuple(path)
+        self._paths[key] = result
+        return result
 
 
 @dataclass
@@ -47,6 +141,14 @@ class Topology:
     area: Tuple[float, float] = (0.0, 0.0)
     metadata: Dict[str, object] = field(default_factory=dict)
 
+    #: Class-level kill switch for the routing caches (equivalence tests):
+    #: when False, neighbour/path/hop queries -- and the simulator's
+    #: alive-set/adjacency reads -- recompute from scratch on every call,
+    #: like the pre-cache implementation.  The vectorized transfer
+    #: accounting is governed separately by ``NetworkSimulator``'s
+    #: ``fast_transport`` flag.
+    routing_cache_enabled: ClassVar[bool] = True
+
     def __post_init__(self) -> None:
         if self.base_id not in self.nodes:
             raise ValueError("base_id must refer to an existing node")
@@ -59,6 +161,27 @@ class Topology:
                 if node_id not in self.adjacency.get(other, set()):
                     raise ValueError("adjacency must be symmetric")
         self.nodes[self.base_id].is_base = True
+        self._routing_epoch = 0
+        self._path_cache = PathCache(self)
+        # Node death/recovery/moves must invalidate the routing caches even
+        # when triggered directly on the node (e.g. by a FailureInjector).
+        for node in self.nodes.values():
+            node._state_listener = self.invalidate_routing_caches
+
+    # -- routing-cache control -------------------------------------------------
+    @property
+    def routing_epoch(self) -> int:
+        """Monotonic counter identifying the current connectivity state."""
+        return self._routing_epoch
+
+    def invalidate_routing_caches(self) -> None:
+        """Bump the routing epoch; all cached paths/tables become stale."""
+        self._routing_epoch += 1
+
+    @property
+    def routing_cache(self) -> PathCache:
+        """The validated (fresh) path cache for the current epoch."""
+        return self._path_cache.validate()
 
     # -- basic accessors -----------------------------------------------------
     @property
@@ -77,11 +200,18 @@ class Topology:
         return self.nodes[node_id]
 
     def neighbors(self, node_id: int, only_alive: bool = True) -> List[int]:
-        """Neighbours of a node, optionally filtering out failed nodes."""
-        neighbours = self.adjacency.get(node_id, set())
+        """Neighbours of a node, optionally filtering out failed nodes.
+
+        The alive view comes from the precomputed adjacency in the routing
+        cache, so the per-call cost is one list copy instead of a filter+sort.
+        """
         if not only_alive:
-            return sorted(neighbours)
-        return sorted(n for n in neighbours if self.nodes[n].alive)
+            return sorted(self.adjacency.get(node_id, set()))
+        if not self.routing_cache_enabled:
+            return sorted(
+                n for n in self.adjacency.get(node_id, set()) if self.nodes[n].alive
+            )
+        return list(self._path_cache.validate().alive_adjacency.get(node_id, ()))
 
     def average_degree(self) -> float:
         if not self.nodes:
@@ -114,9 +244,33 @@ class Topology:
         return len(seen) == len(eligible)
 
     def shortest_hops(self, source: int, only_alive: bool = True) -> Dict[int, int]:
-        """Hop counts from *source* to every reachable node (BFS)."""
+        """Hop counts from *source* to every reachable node (BFS).
+
+        Served from the epoch-guarded :class:`PathCache` for the default
+        alive view; the returned dictionary is a copy the caller may mutate.
+        """
         if source not in self.nodes:
             raise KeyError(f"unknown node {source}")
+        if only_alive and self.routing_cache_enabled:
+            return dict(self._path_cache.validate().bfs_tables(source)[0])
+        return self._bfs_hops_uncached(source, only_alive=only_alive)
+
+    def shortest_hops_view(self, source: int) -> Dict[int, int]:
+        """The cached alive-subgraph hop table itself (treat as read-only).
+
+        Hot callers (centralized optimizer, multi-tree root selection) use
+        this to avoid the defensive copy :meth:`shortest_hops` makes.
+        """
+        if source not in self.nodes:
+            raise KeyError(f"unknown node {source}")
+        if not self.routing_cache_enabled:
+            return self._bfs_hops_uncached(source, only_alive=True)
+        return self._path_cache.validate().bfs_tables(source)[0]
+
+    def _bfs_hops_uncached(
+        self, source: int, only_alive: bool, stop_at: Optional[int] = None
+    ) -> Dict[int, int]:
+        """Fresh BFS hop table; exits early once *stop_at* is reached."""
         hops = {source: 0}
         frontier = [source]
         while frontier:
@@ -125,6 +279,8 @@ class Topology:
                 for neighbour in self.neighbors(current, only_alive=only_alive):
                     if neighbour not in hops:
                         hops[neighbour] = hops[current] + 1
+                        if neighbour == stop_at:
+                            return hops
                         next_frontier.append(neighbour)
             frontier = next_frontier
         return hops
@@ -135,6 +291,9 @@ class Topology:
         """A minimum-hop path from *source* to *target*, or ``None``."""
         if source == target:
             return [source]
+        if only_alive and self.routing_cache_enabled:
+            cached = self._path_cache.validate().path(source, target)
+            return None if cached is None else list(cached)
         parents: Dict[int, int] = {source: source}
         frontier = [source]
         while frontier:
@@ -151,16 +310,23 @@ class Topology:
         return None
 
     def hops_between(self, a: int, b: int, only_alive: bool = True) -> Optional[int]:
-        path = self.shortest_path(a, b, only_alive=only_alive)
-        if path is None:
-            return None
-        return len(path) - 1
+        """Hop count between two nodes, without reconstructing the path.
+
+        The alive view is a lookup in the cached BFS hop table; the full view
+        runs a distance-only BFS that exits as soon as *b* is discovered.
+        """
+        if a == b:
+            return 0
+        if only_alive and self.routing_cache_enabled:
+            return self._path_cache.validate().bfs_tables(a)[0].get(b)
+        return self._bfs_hops_uncached(a, only_alive=only_alive, stop_at=b).get(b)
 
     # -- mutation (used by mobility and failures) -----------------------------
     def remove_links_of(self, node_id: int) -> None:
         for other in list(self.adjacency.get(node_id, ())):
             self.adjacency[other].discard(node_id)
         self.adjacency[node_id] = set()
+        self.invalidate_routing_caches()
 
     def rebuild_links_of(self, node_id: int) -> List[int]:
         """Reconnect a node to every alive node within radio range."""
@@ -173,6 +339,7 @@ class Topology:
                 self.adjacency[node_id].add(other_id)
                 self.adjacency[other_id].add(node_id)
                 new_neighbours.append(other_id)
+        self.invalidate_routing_caches()
         return sorted(new_neighbours)
 
     def copy(self) -> "Topology":
@@ -212,22 +379,33 @@ def _reconstruct(parents: Dict[int, int], source: int, target: int) -> List[int]
 # Generators
 # ---------------------------------------------------------------------------
 
+def _pairwise_distances(coords: np.ndarray) -> np.ndarray:
+    diffs = coords[:, None, :] - coords[None, :, :]
+    return np.sqrt((diffs ** 2).sum(axis=-1))
+
+
+def _adjacency_from_distances(
+    ids: Sequence[int], dists: np.ndarray, radio_range: float
+) -> Dict[int, Set[int]]:
+    adjacency: Dict[int, Set[int]] = {i: set() for i in ids}
+    if len(ids) < 2:
+        return adjacency
+    within = dists <= radio_range
+    np.fill_diagonal(within, False)
+    rows, cols = np.nonzero(within)
+    for row, col in zip(rows.tolist(), cols.tolist()):
+        adjacency[ids[row]].add(ids[col])
+    return adjacency
+
+
 def _adjacency_for_range(
     positions: Dict[int, Position], radio_range: float
 ) -> Dict[int, Set[int]]:
     ids = sorted(positions)
-    coords = np.array([positions[i] for i in ids], dtype=float)
-    adjacency: Dict[int, Set[int]] = {i: set() for i in ids}
     if len(ids) < 2:
-        return adjacency
-    diffs = coords[:, None, :] - coords[None, :, :]
-    dists = np.sqrt((diffs ** 2).sum(axis=-1))
-    within = dists <= radio_range
-    np.fill_diagonal(within, False)
-    for row, node_id in enumerate(ids):
-        for col in np.nonzero(within[row])[0]:
-            adjacency[node_id].add(ids[int(col)])
-    return adjacency
+        return {i: set() for i in ids}
+    coords = np.array([positions[i] for i in ids], dtype=float)
+    return _adjacency_from_distances(ids, _pairwise_distances(coords), radio_range)
 
 
 def _average_degree(adjacency: Dict[int, Set[int]]) -> float:
@@ -239,21 +417,35 @@ def _average_degree(adjacency: Dict[int, Set[int]]) -> float:
 def _solve_radio_range(
     positions: Dict[int, Position], target_degree: float
 ) -> Tuple[float, Dict[int, Set[int]]]:
-    """Binary-search the disc radius so the average degree hits the target."""
-    coords = np.array(list(positions.values()), dtype=float)
+    """Binary-search the disc radius so the average degree hits the target.
+
+    The pairwise distance matrix is computed once and each probe of the
+    search is a vectorized threshold count; the adjacency sets are only
+    materialized for the final radius.  The iteration sequence (and therefore
+    the returned radius and adjacency) is identical to probing with fully
+    built adjacencies, since the average degree equals the count of
+    off-diagonal entries within range divided by the node count.
+    """
+    ids = sorted(positions)
+    coords = np.array([positions[i] for i in ids], dtype=float)
     span = float(np.max(coords) - np.min(coords)) if len(coords) else 1.0
     lo, hi = 1e-6, max(span * 2.0, 1.0)
-    best_adjacency = _adjacency_for_range(positions, hi)
+    if len(ids) < 2:
+        return hi, {i: set() for i in ids}
+    dists = _pairwise_distances(coords)
+    num_nodes = len(ids)
+
+    def degree_at(radius: float) -> float:
+        # The diagonal (distance 0) is always within range; subtract it.
+        return float((dists <= radius).sum() - num_nodes) / num_nodes
+
     for _ in range(48):
         mid = (lo + hi) / 2.0
-        adjacency = _adjacency_for_range(positions, mid)
-        degree = _average_degree(adjacency)
-        if degree < target_degree:
+        if degree_at(mid) < target_degree:
             lo = mid
         else:
             hi = mid
-            best_adjacency = adjacency
-    return hi, best_adjacency
+    return hi, _adjacency_from_distances(ids, dists, hi)
 
 
 def random_topology(

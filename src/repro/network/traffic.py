@@ -17,7 +17,7 @@ from __future__ import annotations
 from collections import defaultdict
 from dataclasses import dataclass, field
 from enum import Enum
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.network.message import MessageKind
 
@@ -56,6 +56,74 @@ class TrafficStats:
         self.messages_sent += attempts
         if receiver is not None:
             self.received[receiver] += self._units(size_bytes)
+
+    def charge_path(
+        self,
+        path: "Sequence[int]",
+        size_bytes: int,
+        kind: MessageKind,
+        attempts=None,
+        num_hops: Optional[int] = None,
+    ) -> None:
+        """Charge a message crossing consecutive hops of *path* in one call.
+
+        Flyweight equivalent of calling :meth:`charge_transmission` once per
+        hop: ``path[i]`` transmits to ``path[i + 1]`` for the first
+        ``num_hops`` hops (default: the whole path).  *attempts* is an
+        optional per-hop transmission count (from
+        :meth:`~repro.network.links.LinkModel.attempt_hops`); without it every
+        hop is a single transmission.  Traffic units are integer-valued, so
+        the aggregate arithmetic is bit-identical to per-hop charging.
+        """
+        hops = len(path) - 1 if num_hops is None else num_hops
+        if hops <= 0:
+            return
+        # Inline unit conversion (must mirror _units): a method call per
+        # charge is measurable on transfer-heavy sweeps.
+        units = (
+            float(size_bytes)
+            if self.accounting is TrafficAccounting.BYTES
+            else 1.0
+        )
+        transmitted = self.transmitted
+        received = self.received
+        if attempts is None:
+            if hops == 1:  # single radio hop: the most common charge
+                transmitted[path[0]] += units
+                received[path[1]] += units
+                self.by_kind[kind] += units
+                self.messages_sent += 1
+                return
+            for index in range(hops):
+                transmitted[path[index]] += units
+                received[path[index + 1]] += units
+            self.by_kind[kind] += units * hops
+            self.messages_sent += hops
+        else:
+            total_attempts = 0
+            for index in range(hops):
+                hop_attempts = int(attempts[index])
+                transmitted[path[index]] += units * hop_attempts
+                received[path[index + 1]] += units
+                total_attempts += hop_attempts
+            self.by_kind[kind] += units * total_attempts
+            self.messages_sent += total_attempts
+
+    def charge_broadcast(
+        self,
+        node_id: int,
+        size_bytes: int,
+        kind: MessageKind,
+        receivers: "Sequence[int]",
+    ) -> None:
+        """One local broadcast: a single transmission heard by *receivers*."""
+        units = self._units(size_bytes)
+        self.transmitted[node_id] += units
+        self.by_kind[kind] += units
+        self.messages_sent += 1
+        received = self.received
+        for receiver in receivers:
+            received[receiver] += units
 
     def charge_drop(self, queue_drop: bool = False) -> None:
         self.messages_dropped += 1

@@ -15,6 +15,7 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from repro.query.cnf import to_cnf
 from repro.query.expressions import (
+    _COMPARISONS as _COMPARISON_OPS,
     AttributeRef,
     BinaryOp,
     Bindings,
@@ -80,41 +81,109 @@ class QueryAnalysis:
     routing_predicate: Optional[RoutingPredicate] = None
     secondary_static_join_clauses: List[Predicate] = field(default_factory=list)
 
+    # -- compiled evaluators ------------------------------------------------
+    # Clause lists are fixed once analysis is done, so each evaluator is
+    # compiled into a fused closure on first use.  Selections compile against
+    # the single relation's attribute dict (no per-call bindings dict); join
+    # clauses whose two sides each read one relation compile into direct
+    # two-argument comparisons.  Results are identical to interpreting the
+    # expression trees -- this only removes the per-call tree walk, which
+    # dominates the per-cycle selection and windowed-join hot paths.
+    def _compiled_selection(self, cache_name: str, alias: str, clauses: List[Predicate]):
+        cache = self.__dict__.setdefault(cache_name, {})
+        fn = cache.get(alias)
+        if fn is None:
+            compiled = tuple(clause.compile_single(alias) for clause in clauses)
+            if not compiled:
+                fn = lambda attrs: True  # noqa: E731
+            elif len(compiled) == 1:
+                fn = compiled[0]
+            else:
+                fn = lambda attrs: all(c(attrs) for c in compiled)  # noqa: E731
+            cache[alias] = fn
+        return fn
+
+    def _compile_pair_clause(self, clause: Predicate):
+        """Compile one join clause to ``fn(source_attrs, target_attrs)``."""
+        source_alias = self.query.source.alias
+        target_alias = self.query.target.alias
+        if isinstance(clause, Comparison):
+            left_rels = clause.left.relations()
+            right_rels = clause.right.relations()
+            operator = _COMPARISON_OPS[clause.op]
+            plain_refs = isinstance(clause.left, AttributeRef) and isinstance(
+                clause.right, AttributeRef
+            )
+            if left_rels <= {source_alias} and right_rels <= {target_alias}:
+                if plain_refs:  # e.g. "S.u = T.u": direct dict lookups
+                    la, ra = clause.left.attribute, clause.right.attribute
+                    return lambda s, t: bool(operator(s[la], t[ra]))
+                left = clause.left.compile_single(source_alias)
+                right = clause.right.compile_single(target_alias)
+                return lambda s, t: bool(operator(left(s), right(t)))
+            if left_rels <= {target_alias} and right_rels <= {source_alias}:
+                if plain_refs:
+                    la, ra = clause.left.attribute, clause.right.attribute
+                    return lambda s, t: bool(operator(t[la], s[ra]))
+                left = clause.left.compile_single(target_alias)
+                right = clause.right.compile_single(source_alias)
+                return lambda s, t: bool(operator(left(t), right(s)))
+        compiled = clause.compile()
+        return lambda s, t: bool(compiled({source_alias: s, target_alias: t}))
+
+    def _compiled_pair(self, cache_name: str, clauses: List[Predicate]):
+        fn = self.__dict__.get(cache_name)
+        if fn is None:
+            compiled = tuple(self._compile_pair_clause(c) for c in clauses)
+            if not compiled:
+                fn = lambda s, t: True  # noqa: E731
+            elif len(compiled) == 1:
+                fn = compiled[0]
+            else:
+                fn = lambda s, t: all(c(s, t) for c in compiled)  # noqa: E731
+            self.__dict__[cache_name] = fn
+        return fn
+
     # -- evaluation helpers -------------------------------------------------
     def node_eligible(self, alias: str, static_attrs: Dict[str, Any]) -> bool:
         """Pre-evaluate static selections: may this node produce for *alias*?"""
-        clauses = self.static_selections.get(alias, [])
-        bindings: Bindings = {alias: static_attrs}
+        fn = self._compiled_selection(
+            "_c_static_sel", alias, self.static_selections.get(alias, [])
+        )
         try:
-            return all(clause.evaluate(bindings) for clause in clauses)
+            return bool(fn(static_attrs))
         except KeyError:
             return False
 
     def producer_sends(self, alias: str, attrs: Dict[str, Any]) -> bool:
         """Evaluate dynamic selections for one sampling cycle."""
-        clauses = self.dynamic_selections.get(alias, [])
-        bindings: Bindings = {alias: attrs}
-        return all(clause.evaluate(bindings) for clause in clauses)
+        fn = self._compiled_selection(
+            "_c_dynamic_sel", alias, self.dynamic_selections.get(alias, [])
+        )
+        return bool(fn(attrs))
 
     def pair_joins_statically(
         self, source_attrs: Dict[str, Any], target_attrs: Dict[str, Any]
     ) -> bool:
         """Pre-evaluate every static join clause for an (s, t) pair."""
-        bindings: Bindings = {
-            self.query.source.alias: source_attrs,
-            self.query.target.alias: target_attrs,
-        }
-        return all(clause.evaluate(bindings) for clause in self.static_join_clauses)
+        fn = self._compiled_pair("_c_static_join", self.static_join_clauses)
+        return fn(source_attrs, target_attrs)
 
     def tuples_join(
         self, source_attrs: Dict[str, Any], target_attrs: Dict[str, Any]
     ) -> bool:
         """Evaluate the dynamic join clauses for a pair of tuples."""
-        bindings: Bindings = {
-            self.query.source.alias: source_attrs,
-            self.query.target.alias: target_attrs,
-        }
-        return all(clause.evaluate(bindings) for clause in self.dynamic_join_clauses)
+        fn = self._compiled_pair("_c_dynamic_join", self.dynamic_join_clauses)
+        return fn(source_attrs, target_attrs)
+
+    def compiled_tuples_join(self):
+        """The fused ``fn(source_attrs, target_attrs)`` closure itself.
+
+        Join probes run this hundreds of thousands of times per experiment;
+        binding the closure skips the method-call indirection of
+        :meth:`tuples_join`.
+        """
+        return self._compiled_pair("_c_dynamic_join", self.dynamic_join_clauses)
 
     def has_dynamic_join(self) -> bool:
         return bool(self.dynamic_join_clauses)

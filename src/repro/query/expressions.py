@@ -14,10 +14,11 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
-from typing import Any, Dict, FrozenSet, Sequence, Tuple
+from typing import Any, Callable, Dict, FrozenSet, Sequence, Tuple
 
 Bindings = Dict[str, Dict[str, Any]]
 AttrRef = Tuple[str, str]
+CompiledExpression = Callable[[Bindings], Any]
 
 
 def hash16(value: Any) -> int:
@@ -58,6 +59,33 @@ class Expression(ABC):
     def referenced_attributes(self) -> FrozenSet[AttrRef]:
         """Every (relation alias, attribute name) pair the expression reads."""
 
+    def compile(self) -> CompiledExpression:
+        """A closure equivalent to :meth:`evaluate`.
+
+        Compiling folds the tree walk into nested closures once, so hot
+        evaluation loops (per-cycle selections, windowed-join probes) skip
+        the per-call dispatch and attribute lookups.  Results are identical
+        to interpreting the tree; missing bindings/attributes still raise
+        ``KeyError``.
+        """
+        return self.evaluate
+
+    def compile_single(self, alias: str) -> "Callable[[Dict[str, Any]], Any]":
+        """Compile against a single relation's attribute dict directly.
+
+        For expressions that only read attributes of *alias* this skips the
+        per-call construction of a bindings dict; expressions referencing
+        other relations fall back to wrapping :meth:`compile`.
+        """
+        if self.relations() <= {alias}:
+            return self._compile_single(alias)
+        compiled = self.compile()
+        return lambda attrs: compiled({alias: attrs})
+
+    def _compile_single(self, alias: str) -> "Callable[[Dict[str, Any]], Any]":
+        compiled = self.compile()
+        return lambda attrs: compiled({alias: attrs})
+
     def relations(self) -> FrozenSet[str]:
         return frozenset(rel for rel, _ in self.referenced_attributes())
 
@@ -72,6 +100,14 @@ class Literal(Expression):
 
     def evaluate(self, bindings: Bindings) -> Any:
         return self.value
+
+    def compile(self) -> CompiledExpression:
+        value = self.value
+        return lambda bindings: value
+
+    def _compile_single(self, alias: str) -> Callable[[Dict[str, Any]], Any]:
+        value = self.value
+        return lambda attrs: value
 
     def referenced_attributes(self) -> FrozenSet[AttrRef]:
         return frozenset()
@@ -96,6 +132,14 @@ class AttributeRef(Expression):
             raise KeyError(
                 f"relation {self.relation!r} binding has no attribute {self.attribute!r}"
             ) from None
+
+    def compile(self) -> CompiledExpression:
+        relation, attribute = self.relation, self.attribute
+        return lambda bindings: bindings[relation][attribute]
+
+    def _compile_single(self, alias: str) -> Callable[[Dict[str, Any]], Any]:
+        attribute = self.attribute
+        return lambda attrs: attrs[attribute]
 
     def referenced_attributes(self) -> FrozenSet[AttrRef]:
         return frozenset({(self.relation, self.attribute)})
@@ -128,6 +172,17 @@ class BinaryOp(Expression):
             self.left.evaluate(bindings), self.right.evaluate(bindings)
         )
 
+    def compile(self) -> CompiledExpression:
+        operator = _ARITHMETIC[self.op]
+        left, right = self.left.compile(), self.right.compile()
+        return lambda bindings: operator(left(bindings), right(bindings))
+
+    def _compile_single(self, alias: str) -> Callable[[Dict[str, Any]], Any]:
+        operator = _ARITHMETIC[self.op]
+        left = self.left._compile_single(alias)
+        right = self.right._compile_single(alias)
+        return lambda attrs: operator(left(attrs), right(attrs))
+
     def referenced_attributes(self) -> FrozenSet[AttrRef]:
         return self.left.referenced_attributes() | self.right.referenced_attributes()
 
@@ -146,6 +201,16 @@ class FunctionCall(Expression):
 
     def evaluate(self, bindings: Bindings) -> Any:
         return _FUNCTIONS[self.name]([arg.evaluate(bindings) for arg in self.args])
+
+    def compile(self) -> CompiledExpression:
+        function = _FUNCTIONS[self.name]
+        args = tuple(arg.compile() for arg in self.args)
+        return lambda bindings: function([arg(bindings) for arg in args])
+
+    def _compile_single(self, alias: str) -> Callable[[Dict[str, Any]], Any]:
+        function = _FUNCTIONS[self.name]
+        args = tuple(arg._compile_single(alias) for arg in self.args)
+        return lambda attrs: function([arg(attrs) for arg in args])
 
     def referenced_attributes(self) -> FrozenSet[AttrRef]:
         refs: FrozenSet[AttrRef] = frozenset()
@@ -184,6 +249,17 @@ class Comparison(Predicate):
             )
         )
 
+    def compile(self) -> CompiledExpression:
+        operator = _COMPARISONS[self.op]
+        left, right = self.left.compile(), self.right.compile()
+        return lambda bindings: bool(operator(left(bindings), right(bindings)))
+
+    def _compile_single(self, alias: str) -> Callable[[Dict[str, Any]], Any]:
+        operator = _COMPARISONS[self.op]
+        left = self.left._compile_single(alias)
+        right = self.right._compile_single(alias)
+        return lambda attrs: bool(operator(left(attrs), right(attrs)))
+
     def referenced_attributes(self) -> FrozenSet[AttrRef]:
         return self.left.referenced_attributes() | self.right.referenced_attributes()
 
@@ -211,6 +287,18 @@ class And(Predicate):
     def evaluate(self, bindings: Bindings) -> bool:
         return all(op.evaluate(bindings) for op in self.operands)
 
+    def compile(self) -> CompiledExpression:
+        operands = tuple(op.compile() for op in self.operands)
+        if len(operands) == 1:
+            return operands[0]
+        return lambda bindings: all(op(bindings) for op in operands)
+
+    def _compile_single(self, alias: str) -> Callable[[Dict[str, Any]], Any]:
+        operands = tuple(op._compile_single(alias) for op in self.operands)
+        if len(operands) == 1:
+            return operands[0]
+        return lambda attrs: all(op(attrs) for op in operands)
+
     def referenced_attributes(self) -> FrozenSet[AttrRef]:
         refs: FrozenSet[AttrRef] = frozenset()
         for operand in self.operands:
@@ -237,6 +325,18 @@ class Or(Predicate):
     def evaluate(self, bindings: Bindings) -> bool:
         return any(op.evaluate(bindings) for op in self.operands)
 
+    def compile(self) -> CompiledExpression:
+        operands = tuple(op.compile() for op in self.operands)
+        if len(operands) == 1:
+            return operands[0]
+        return lambda bindings: any(op(bindings) for op in operands)
+
+    def _compile_single(self, alias: str) -> Callable[[Dict[str, Any]], Any]:
+        operands = tuple(op._compile_single(alias) for op in self.operands)
+        if len(operands) == 1:
+            return operands[0]
+        return lambda attrs: any(op(attrs) for op in operands)
+
     def referenced_attributes(self) -> FrozenSet[AttrRef]:
         refs: FrozenSet[AttrRef] = frozenset()
         for operand in self.operands:
@@ -254,6 +354,14 @@ class Not(Predicate):
     def evaluate(self, bindings: Bindings) -> bool:
         return not self.operand.evaluate(bindings)
 
+    def compile(self) -> CompiledExpression:
+        operand = self.operand.compile()
+        return lambda bindings: not operand(bindings)
+
+    def _compile_single(self, alias: str) -> Callable[[Dict[str, Any]], Any]:
+        operand = self.operand._compile_single(alias)
+        return lambda attrs: not operand(attrs)
+
     def referenced_attributes(self) -> FrozenSet[AttrRef]:
         return self.operand.referenced_attributes()
 
@@ -267,6 +375,14 @@ class BoolLiteral(Predicate):
 
     def evaluate(self, bindings: Bindings) -> bool:
         return self.value
+
+    def compile(self) -> CompiledExpression:
+        value = self.value
+        return lambda bindings: value
+
+    def _compile_single(self, alias: str) -> Callable[[Dict[str, Any]], Any]:
+        value = self.value
+        return lambda attrs: value
 
     def referenced_attributes(self) -> FrozenSet[AttrRef]:
         return frozenset()

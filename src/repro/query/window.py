@@ -38,14 +38,13 @@ class TupleWindow:
         if size < 1:
             raise ValueError("window size must be at least 1")
         self.size = size
-        self._tuples: Deque[WindowedTuple] = deque()
+        self._tuples: Deque[WindowedTuple] = deque(maxlen=size)
 
     def insert(self, item: WindowedTuple) -> Optional[WindowedTuple]:
         """Add a tuple; returns the evicted tuple if the window was full."""
-        evicted = None
-        if len(self._tuples) >= self.size:
-            evicted = self._tuples.popleft()
-        self._tuples.append(item)
+        tuples = self._tuples
+        evicted = tuples[0] if len(tuples) == self.size else None
+        tuples.append(item)  # maxlen evicts the oldest automatically
         return evicted
 
     def contents(self) -> List[WindowedTuple]:
@@ -68,7 +67,7 @@ class TupleWindow:
         return list(self._tuples)
 
     def import_state(self, tuples: List[WindowedTuple]) -> None:
-        self._tuples = deque(tuples[-self.size:])
+        self._tuples = deque(tuples[-self.size:], maxlen=self.size)
 
 
 JoinPredicate = Callable[[Dict[str, Any], Dict[str, Any]], bool]
@@ -105,19 +104,19 @@ class JoinState:
 
         Returns the list of (source_tuple, target_tuple) result pairs.
         """
-        own = self.source_window if from_source else self.target_window
-        other = self.target_window if from_source else self.source_window
         results: List[Tuple[WindowedTuple, WindowedTuple]] = []
-        for buffered in other:
-            source_values, target_values = (
-                (new_tuple.values, buffered.values)
-                if from_source
-                else (buffered.values, new_tuple.values)
-            )
-            if join_predicate(source_values, target_values):
-                pair = (new_tuple, buffered) if from_source else (buffered, new_tuple)
-                results.append(pair)
-        own.insert(new_tuple)
+        new_values = new_tuple.values
+        if from_source:
+            own, other = self.source_window, self.target_window
+            for buffered in other._tuples:
+                if join_predicate(new_values, buffered.values):
+                    results.append((new_tuple, buffered))
+        else:
+            own, other = self.target_window, self.source_window
+            for buffered in other._tuples:
+                if join_predicate(buffered.values, new_values):
+                    results.append((buffered, new_tuple))
+        own._tuples.append(new_tuple)  # bounded deque: evicts the oldest
         self.results_produced += len(results)
         return results
 

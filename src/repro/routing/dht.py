@@ -47,23 +47,35 @@ class DHTSubstrate:
             node_id: _stable_hash(("node", node_id), salt)
             for node_id in topology.node_ids
         }
+        #: key -> (routing epoch, home node); invalidated by failures/mobility.
+        self._home_cache: Dict[Any, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     def key_hash(self, key: Any) -> int:
         return _stable_hash(("key", key), self.salt)
 
     def home_node(self, key: Any) -> int:
-        """Alive node whose hashed id is nearest the hashed key on the ring."""
+        """Alive node whose hashed id is nearest the hashed key on the ring.
+
+        Memoized per key against the topology's routing epoch (failures and
+        mobility bump the epoch and re-trigger the scan).
+        """
+        epoch = self.topology.routing_epoch
+        cached = self._home_cache.get(key)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
         key_hash = self.key_hash(key)
         candidates = [
             node_id for node_id, node in self.topology.nodes.items() if node.alive
         ]
         if not candidates:
             raise RuntimeError("no alive nodes")
-        return min(
+        home = min(
             candidates,
             key=lambda nid: (_ring_distance(self._node_hashes[nid], key_hash), nid),
         )
+        self._home_cache[key] = (epoch, home)
+        return home
 
     def route(self, source: int, key: Any) -> List[int]:
         """Physical route from *source* to the key's home node."""

@@ -43,6 +43,8 @@ class GHTSubstrate:
         xs = [node.position[0] for node in topology.nodes.values()]
         ys = [node.position[1] for node in topology.nodes.values()]
         self._bounds = (min(xs), min(ys), max(xs), max(ys))
+        #: key -> (routing epoch, home node); invalidated by failures/mobility.
+        self._home_cache: Dict[Any, Tuple[int, int]] = {}
 
     # ------------------------------------------------------------------
     def hash_location(self, key: Any) -> Tuple[float, float]:
@@ -54,17 +56,28 @@ class GHTSubstrate:
         return (xmin + fx * (xmax - xmin), ymin + fy * (ymax - ymin))
 
     def home_node(self, key: Any) -> int:
-        """The alive node closest to the key's hash location."""
+        """The alive node closest to the key's hash location.
+
+        Memoized per key against the topology's routing epoch, so repeated
+        routes to the same key skip the full node scan until a failure or a
+        move changes the deployment.
+        """
+        epoch = self.topology.routing_epoch
+        cached = self._home_cache.get(key)
+        if cached is not None and cached[0] == epoch:
+            return cached[1]
         location = self.hash_location(key)
         candidates = [
             node_id for node_id, node in self.topology.nodes.items() if node.alive
         ]
         if not candidates:
             raise RuntimeError("no alive nodes")
-        return min(
+        home = min(
             candidates,
             key=lambda nid: self._distance_to(nid, location),
         )
+        self._home_cache[key] = (epoch, home)
+        return home
 
     def _distance_to(self, node_id: int, location: Tuple[float, float]) -> float:
         x, y = self.topology.nodes[node_id].position

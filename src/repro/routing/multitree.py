@@ -88,6 +88,8 @@ class MultiTreeSubstrate:
         self.sizes = sizes or MessageSizes()
         self.trees: List[RoutingTree] = []
         self.tables: List[Optional[SemanticRoutingTable]] = []
+        #: (source, target) -> best stripped route; cleared on tree repair.
+        self._best_routes: Dict[Tuple[int, int], Tuple[int, ...]] = {}
         self._build_trees()
         self._indexed_attributes = indexed_attributes or {}
         self._value_extractors = value_extractors or {}
@@ -112,7 +114,7 @@ class MultiTreeSubstrate:
     def _furthest_from_existing_roots(self) -> int:
         """Pick the node maximizing its minimum hop distance to existing roots."""
         distances: List[Dict[int, int]] = [
-            self.topology.shortest_hops(tree.root) for tree in self.trees
+            self.topology.shortest_hops_view(tree.root) for tree in self.trees
         ]
         best_node = self.topology.base_id
         best_score = -1
@@ -164,7 +166,14 @@ class MultiTreeSubstrate:
     # point-to-point routing
     # ------------------------------------------------------------------
     def best_route(self, source: int, target: int) -> List[int]:
-        """Shortest route among the per-tree routes between two nodes."""
+        """Shortest route among the per-tree routes between two nodes.
+
+        Memoized per pair until a failure repair changes the trees.
+        """
+        key = (source, target)
+        cached = self._best_routes.get(key)
+        if cached is not None:
+            return list(cached)
         best: Optional[List[int]] = None
         for tree in self.trees:
             if not (tree.covers(source) and tree.covers(target)):
@@ -174,6 +183,7 @@ class MultiTreeSubstrate:
                 best = route
         if best is None:
             raise ValueError(f"no route between {source} and {target}")
+        self._best_routes[key] = tuple(best)
         return best
 
     def route_length(self, source: int, target: int) -> int:
@@ -191,6 +201,7 @@ class MultiTreeSubstrate:
         simulator: Optional[NetworkSimulator] = None,
         max_trees: Optional[int] = None,
         charge_replies: bool = False,
+        cache_token: Optional[Tuple] = None,
     ) -> ExplorationResult:
         """Search every tree for nodes whose *attr* matches.
 
@@ -201,9 +212,36 @@ class MultiTreeSubstrate:
         vector, so the discovered target can nominate a join node without a
         separate reply (Section 3.2); set ``charge_replies`` to also charge an
         explicit reversed-path reply per discovered target.
+
+        ``cache_token`` (optional) asserts that the probe/match closures are a
+        pure function of the token, the query identity and the deployment.
+        The traversal (edges visited and paths found) is then memoized on the
+        topology, keyed on its routing epoch, and repeat searches replay the
+        recorded traffic charges instead of re-walking the trees.  The trees
+        themselves are rebuilt deterministically from the topology, so
+        replayed results are identical across substrate instances.
         """
-        result = ExplorationResult(source=source)
         tree_count = len(self.trees) if max_trees is None else min(max_trees, len(self.trees))
+        cache = None
+        key = None
+        if cache_token is not None:
+            cache = self.topology.__dict__.setdefault("_exploration_cache", {})
+            if len(cache) > 4096:
+                # Long-lived (memoized) topologies must not accumulate
+                # traversal recordings without bound across figure sweeps.
+                cache.clear()
+                self.topology.__dict__.get("_exploration_pins", {}).clear()
+            key = (
+                self.topology.routing_epoch, self.num_trees, tree_count,
+                charge_replies, cache_token,
+            )
+            entry = cache.get(key)
+            if entry is not None:
+                return self._replay_exploration(source, entry, simulator, charge_replies)
+        result = ExplorationResult(source=source)
+        recording: Optional[List[Tuple[int, int, int]]] = (
+            [] if cache is not None else None
+        )
         for tree_index in range(tree_count):
             tree = self.trees[tree_index]
             table = self.tables[tree_index]
@@ -215,8 +253,54 @@ class MultiTreeSubstrate:
                 continue
             self._explore_tree(
                 tree, table, tree_index, source, attr, summary_probe, node_matches,
-                result, simulator, charge_replies,
+                result, simulator, charge_replies, recording,
             )
+        if cache is not None:
+            cache[key] = {
+                "edges": recording,
+                "paths": {
+                    target: [(tuple(p.path), p.tree_index) for p in paths]
+                    for target, paths in result.paths.items()
+                },
+            }
+        return result
+
+    def _replay_exploration(
+        self,
+        source: int,
+        entry: Dict,
+        simulator: Optional[NetworkSimulator],
+        charge_replies: bool,
+    ) -> ExplorationResult:
+        """Rebuild a memoized exploration, re-charging its traffic."""
+        result = ExplorationResult(source=source)
+        edges = entry["edges"]
+        result.edges_traversed = len(edges)
+        if simulator is not None:
+            explore_size = self.sizes.explore
+            for a, b, path_len in edges:
+                simulator.transfer([a, b], explore_size(path_len), MessageKind.EXPLORE)
+            result.messages_sent += len(edges)
+        hops_map = self.primary_tree.depth
+        for target, paths in entry["paths"].items():
+            rebuilt = []
+            for path, tree_index in paths:
+                clean = list(path)
+                rebuilt.append(PairPath(
+                    source=source,
+                    target=target,
+                    path=clean,
+                    hops_to_base=[hops_map.get(n, 0) for n in clean],
+                    tree_index=tree_index,
+                ))
+                if simulator is not None and charge_replies:
+                    simulator.transfer(
+                        list(reversed(clean)),
+                        self.sizes.explore(len(clean)),
+                        MessageKind.EXPLORE_REPLY,
+                    )
+                    result.messages_sent += 1
+            result.paths[target] = rebuilt
         return result
 
     def find_equality_matches(
@@ -249,6 +333,7 @@ class MultiTreeSubstrate:
         result: ExplorationResult,
         simulator: Optional[NetworkSimulator],
         charge_replies: bool = False,
+        recording: Optional[List[Tuple[int, int, int]]] = None,
     ) -> None:
         hops_map = self.primary_tree.depth
 
@@ -273,6 +358,8 @@ class MultiTreeSubstrate:
 
         def traverse_edge(a: int, b: int, path_len: int) -> None:
             result.edges_traversed += 1
+            if recording is not None:
+                recording.append((a, b, path_len))
             if simulator is not None:
                 simulator.transfer(
                     [a, b], self.sizes.explore(path_len), MessageKind.EXPLORE
@@ -339,6 +426,7 @@ class MultiTreeSubstrate:
         Returns a mapping tree-index -> nodes that could not be re-attached.
         """
         stranded: Dict[int, List[int]] = {}
+        self._best_routes = {}
         for index, tree in enumerate(self.trees):
             lost = tree.repair_after_failure(failed, simulator=simulator)
             if lost:

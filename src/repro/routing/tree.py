@@ -31,6 +31,10 @@ class RoutingTree:
         self.parent: Dict[int, Optional[int]] = {}
         self.children: Dict[int, List[int]] = {}
         self.depth: Dict[int, int] = {}
+        # Memoized parent climbs; cleared whenever the tree structure
+        # changes (build / repair_after_failure).
+        self._paths_to_root: Dict[int, tuple] = {}
+        self._routes: Dict[tuple, tuple] = {}
         self.build()
 
     # ------------------------------------------------------------------
@@ -46,6 +50,8 @@ class RoutingTree:
         self.parent = {self.root: None}
         self.children = {self.root: []}
         self.depth = {self.root: 0}
+        self._paths_to_root = {}
+        self._routes = {}
         queue = deque([self.root])
         while queue:
             current = queue.popleft()
@@ -105,13 +111,21 @@ class RoutingTree:
         return not self.children.get(node_id)
 
     def path_to_root(self, node_id: int) -> List[int]:
-        """Path from a node up to the root (inclusive of both)."""
-        if node_id not in self.parent:
-            raise KeyError(f"node {node_id} is not covered by the tree")
-        path = [node_id]
-        while self.parent[path[-1]] is not None:
-            path.append(self.parent[path[-1]])
-        return path
+        """Path from a node up to the root (inclusive of both).
+
+        The climb is memoized per node (invalidated on build/repair); the
+        caller gets a fresh list it may mutate.
+        """
+        cached = self._paths_to_root.get(node_id)
+        if cached is None:
+            if node_id not in self.parent:
+                raise KeyError(f"node {node_id} is not covered by the tree")
+            path = [node_id]
+            while self.parent[path[-1]] is not None:
+                path.append(self.parent[path[-1]])
+            cached = tuple(path)
+            self._paths_to_root[node_id] = cached
+        return list(cached)
 
     def path_from_root(self, node_id: int) -> List[int]:
         return list(reversed(self.path_to_root(node_id)))
@@ -120,7 +134,19 @@ class RoutingTree:
         return self.depth[node_id]
 
     def route(self, source: int, target: int) -> List[int]:
-        """Tree route: climb to the lowest common ancestor, then descend."""
+        """Tree route: climb to the lowest common ancestor, then descend.
+
+        Memoized per (source, target) until the tree structure changes.
+        """
+        key = (source, target)
+        cached = self._routes.get(key)
+        if cached is not None:
+            return list(cached)
+        route = self._compute_route(source, target)
+        self._routes[key] = tuple(route)
+        return route
+
+    def _compute_route(self, source: int, target: int) -> List[int]:
         up = self.path_to_root(source)
         down = self.path_to_root(target)
         up_set = {node: index for index, node in enumerate(up)}
@@ -152,6 +178,8 @@ class RoutingTree:
         """
         if failed not in self.parent:
             return []
+        self._paths_to_root = {}
+        self._routes = {}
         orphans = set(self.subtree_nodes(failed))
         # Remove the failed subtree from the structure.
         failed_parent = self.parent.get(failed)

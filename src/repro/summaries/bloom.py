@@ -38,6 +38,35 @@ def _to_bytes(value: Any) -> bytes:
     return str(value).encode("utf-8")
 
 
+#: (type, value, num_bits, num_hashes) -> OR-mask of the value's bit
+#: positions.  Masks are pure functions of their key, so the cache is shared
+#: by every filter with the same geometry; the type is part of the key
+#: because equal-comparing values of different types (1, 1.0, True) hash to
+#: different byte strings.
+_MASK_CACHE: dict = {}
+
+
+def _mask_for(value: Any, num_bits: int, num_hashes: int) -> int:
+    try:
+        key = (value.__class__, value, num_bits, num_hashes)
+        mask = _MASK_CACHE.get(key)
+    except TypeError:  # unhashable value: compute without caching
+        key = None
+        mask = None
+    if mask is None and key is not None and len(_MASK_CACHE) > 65536:
+        _MASK_CACHE.clear()  # bound memory on high-cardinality value streams
+    if mask is None:
+        data = _to_bytes(value)
+        h1 = _fnv1a(data, 1)
+        h2 = _fnv1a(data, 2) | 1  # ensure odd so double hashing cycles all bits
+        mask = 0
+        for i in range(num_hashes):
+            mask |= 1 << ((h1 + i * h2) % num_bits)
+        if key is not None:
+            _MASK_CACHE[key] = mask
+    return mask
+
+
 class BloomFilterSummary(Summary):
     """A standard Bloom filter with ``k`` hash functions over ``m`` bits.
 
@@ -77,19 +106,22 @@ class BloomFilterSummary(Summary):
             self.add_all(values)
 
     def _positions(self, value: Any):
-        data = _to_bytes(value)
-        h1 = _fnv1a(data, 1)
-        h2 = _fnv1a(data, 2) | 1  # ensure odd so double hashing cycles all bits
-        for i in range(self.num_hashes):
-            yield (h1 + i * h2) % self.num_bits
+        mask = _mask_for(value, self.num_bits, self.num_hashes)
+        position = 0
+        while mask:
+            if mask & 1:
+                yield position
+            mask >>= 1
+            position += 1
 
     def add(self, value: Any) -> None:
-        for pos in self._positions(value):
-            self._bits |= 1 << pos
+        self._bits |= _mask_for(value, self.num_bits, self.num_hashes)
         self._count += 1
 
     def might_contain(self, value: Any) -> bool:
-        return all((self._bits >> pos) & 1 for pos in self._positions(value))
+        # One AND against the value's precomputed (memoized) bit mask.
+        mask = _mask_for(value, self.num_bits, self.num_hashes)
+        return self._bits & mask == mask
 
     def merge(self, other: Summary) -> "BloomFilterSummary":
         if not isinstance(other, BloomFilterSummary):

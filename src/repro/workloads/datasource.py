@@ -25,7 +25,9 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional
+from typing import Any, Dict, List, Optional, Sequence
+
+import numpy as np
 
 SEND_THRESHOLD = 500  # queries use "adc0 < 500" as the dynamic selection
 _SEND_RANGE = 1000
@@ -48,6 +50,23 @@ def _uniform(seed: int, node: int, cycle: int, stream: int, modulo: int) -> int:
     if modulo <= 0:
         raise ValueError("modulo must be positive")
     return _mix(seed, node, cycle, stream) % modulo
+
+
+def _mix_vector(seed: int, nodes: np.ndarray, cycle: int, stream: int) -> np.ndarray:
+    """Vectorized :func:`_mix` over a node-id array (identical outputs)."""
+    with np.errstate(over="ignore"):
+        value = np.full(nodes.shape, 0x9E3779B97F4A7C15, dtype=np.uint64)
+        for part in (
+            np.uint64(seed & _MASK64),
+            nodes.astype(np.uint64),
+            np.uint64(cycle & _MASK64),
+            np.uint64(stream & _MASK64),
+        ):
+            value = (value ^ part) * np.uint64(0xBF58476D1CE4E5B9)
+            value ^= value >> np.uint64(27)
+            value *= np.uint64(0x94D049BB133111EB)
+            value ^= value >> np.uint64(31)
+    return value
 
 
 @dataclass
@@ -111,6 +130,46 @@ class SyntheticDataSource:
             adc0 = SEND_THRESHOLD + (send_draw % SEND_THRESHOLD)
         u_value = _uniform(source.seed, node_id, cycle, 2, source.u_range_for(node_id))
         return {"u": u_value, "adc0": adc0, "v": 0}
+
+    def sample_many(
+        self, node_ids: Sequence[int], cycle: int
+    ) -> List[Dict[str, Any]]:
+        """Vectorized :meth:`sample` for one cycle over many nodes.
+
+        Produces exactly the per-node dictionaries :meth:`sample` would (the
+        SplitMix64 draws are computed batched with 64-bit wrapping
+        arithmetic), one list entry per entry of *node_ids*.
+        """
+        source = self._effective(cycle)
+        key = tuple(node_ids)
+        arrays_cache = source.__dict__.setdefault("_node_arrays", {})
+        arrays = arrays_cache.get(key)
+        if arrays is None:
+            u_ranges = [source.u_range_for(int(n)) for n in node_ids]
+            if any(r <= 0 for r in u_ranges):
+                raise ValueError("modulo must be positive")  # match sample()
+            arrays = (
+                np.asarray(node_ids, dtype=np.int64),
+                np.array(
+                    [source.send_probability_for(int(n)) for n in node_ids],
+                    dtype=float,
+                ) * _SEND_RANGE,
+                np.array(u_ranges, dtype=np.uint64),
+            )
+            arrays_cache[key] = arrays
+        ids, send_threshold, u_range = arrays
+        if ids.size == 0:
+            return []
+        send_draw = _mix_vector(source.seed, ids, cycle, 1) % np.uint64(_SEND_RANGE)
+        send_draw = send_draw.astype(np.int64)
+        sends = send_draw < send_threshold
+        half = send_draw % SEND_THRESHOLD
+        adc0 = np.where(sends, half, SEND_THRESHOLD + half)
+        u_values = (_mix_vector(source.seed, ids, cycle, 2) % u_range).astype(np.int64)
+        return [
+            {"u": int(u_values[i]), "adc0": int(adc0[i]), "v": 0}
+            for i in range(len(node_ids))
+        ]
 
 
 def build_send_probability_map(
