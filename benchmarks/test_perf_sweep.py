@@ -1,0 +1,73 @@
+"""Benchmark of the sweep engine: serial reference vs 4-process pool.
+
+Times the Figure 2 smoke sweep (3 ratios x 2 join selectivities x 6
+algorithms) end-to-end through ``SweepRunner`` with the serial executor and
+with ``jobs=4``, and records both wall-clocks plus the speedup in
+``BENCH_sweep.json`` at the repo root so future PRs can track the engine's
+scaling trajectory alongside the transport numbers in
+``BENCH_transport.json``.
+"""
+
+import json
+import os
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.engine import SCALES, SweepRunner, reset_workload_caches
+from repro.experiments.scenarios import BUILTIN_SCENARIOS
+
+from conftest import run_once
+
+_RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_sweep.json"
+_RESULTS = {}
+
+_SMOKE = SCALES["smoke"]
+
+
+@pytest.fixture(scope="module", autouse=True)
+def _write_results():
+    """Persist the collected timings after the module's benchmarks ran."""
+    yield
+    if not _RESULTS:
+        return
+    serial = _RESULTS.get("sweep_fig02_smoke_serial", {}).get("mean_s")
+    jobs4 = _RESULTS.get("sweep_fig02_smoke_jobs4", {}).get("mean_s")
+    payload = {
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        # pool scaling only shows above 1 core; record the context
+        "cpu_count": os.cpu_count(),
+        "scenario": "fig02-smoke",
+        "benchmarks": _RESULTS,
+        "speedup_jobs4_vs_serial": (serial / jobs4) if serial and jobs4 else None,
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+
+
+def _record(name, benchmark):
+    stats = benchmark.stats.stats
+    _RESULTS[name] = {"mean_s": stats.mean, "min_s": stats.min}
+
+
+def _run_sweep(jobs):
+    # Cold caches each time so serial and parallel pay the same setup cost
+    # (pool workers fork after the reset and warm their own copies).
+    reset_workload_caches()
+    scenario = BUILTIN_SCENARIOS["fig02-smoke"]()
+    sweep = SweepRunner(jobs=jobs).run(scenario, _SMOKE)
+    assert sweep.executed == 36
+    return sweep
+
+
+def test_sweep_fig02_smoke_serial(benchmark, show):
+    sweep = run_once(benchmark, _run_sweep, 1)
+    _record("sweep_fig02_smoke_serial", benchmark)
+    show("fig02-smoke via SweepRunner (serial)", sweep.rows()[:6])
+
+
+def test_sweep_fig02_smoke_jobs4(benchmark):
+    sweep = run_once(benchmark, _run_sweep, 4)
+    _record("sweep_fig02_smoke_jobs4", benchmark)
+    assert len(sweep.groups) == 6

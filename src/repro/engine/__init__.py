@@ -1,0 +1,84 @@
+"""The scenario/execution/persistence engine behind the experiment stack.
+
+The engine splits an experiment sweep into three declarative layers:
+
+* **Scenario layer** (:mod:`repro.engine.spec`) -- a
+  :class:`~repro.engine.spec.ScenarioSpec` describes a sweep as pure data
+  (topology preset, query name, selectivities, algorithms, link/failure
+  config, parameter grid) and expands into frozen, hashable
+  :class:`~repro.engine.spec.RunSpec` units.  Scenarios round-trip through
+  JSON/TOML so they can be authored as files and run from the CLI.
+* **Execution layer** (:mod:`repro.engine.runner`,
+  :mod:`repro.engine.execution`) -- a
+  :class:`~repro.engine.runner.SweepRunner` schedules RunSpecs over a serial
+  reference executor or a ``multiprocessing`` pool with worker-local bounded
+  caches (:mod:`repro.engine.workload`), streams reports back and aggregates
+  them with the paper's means and 95 % confidence intervals.
+* **Persistence layer** (:mod:`repro.engine.store`) -- a SQLite/WAL
+  :class:`~repro.engine.store.ResultStore` keyed by RunSpec content hash
+  makes sweeps resumable: completed runs are skipped on re-invocation.
+
+Algorithms and query builders are referenced by name through the registries
+in :mod:`repro.engine.registry`; external code can plug in via the
+``register_strategy`` / ``register_query_builder`` hooks.
+"""
+
+from repro.engine.execution import execute_run, run_single
+from repro.engine.registry import (
+    FIGURE2_ALGORITHMS,
+    MESH_ALGORITHMS,
+    QUERIES,
+    STRATEGIES,
+    available_algorithms,
+    make_query,
+    make_strategy,
+    register_query_builder,
+    register_strategy,
+)
+from repro.engine.results import AggregateResult, RunResult
+from repro.engine.runner import SettingResult, SweepResult, SweepRunner
+from repro.engine.spec import (
+    SCALES,
+    ExperimentScale,
+    RunSpec,
+    ScenarioSpec,
+    load_scenario_file,
+    scale_from_env,
+)
+from repro.engine.store import ResultStore
+from repro.engine.workload import (
+    build_topology,
+    build_workload,
+    reset_workload_caches,
+    workload_cache_stats,
+)
+
+__all__ = [
+    "AggregateResult",
+    "ExperimentScale",
+    "FIGURE2_ALGORITHMS",
+    "MESH_ALGORITHMS",
+    "QUERIES",
+    "ResultStore",
+    "RunResult",
+    "RunSpec",
+    "SCALES",
+    "STRATEGIES",
+    "ScenarioSpec",
+    "SettingResult",
+    "SweepResult",
+    "SweepRunner",
+    "available_algorithms",
+    "build_topology",
+    "build_workload",
+    "execute_run",
+    "load_scenario_file",
+    "make_query",
+    "make_strategy",
+    "register_query_builder",
+    "register_strategy",
+    "reset_workload_caches",
+    "run_single",
+    "scale_from_env",
+    "workload_cache_stats",
+]

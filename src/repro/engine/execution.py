@@ -1,0 +1,118 @@
+"""Materializing and executing a single :class:`~repro.engine.spec.RunSpec`.
+
+``run_single`` is the object-level runner (explicit query/topology/data
+source), unchanged from the historical harness; ``execute_run`` is the
+engine's schedulable unit: it rebuilds every object a frozen RunSpec
+describes -- through the worker-local memo caches of
+:mod:`repro.engine.workload` -- and runs it.  Because every input is a
+deterministic function of the spec, serial and parallel executors produce
+bit-identical reports for the same RunSpec.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.engine.registry import make_strategy
+from repro.engine.results import RunResult
+from repro.engine.spec import RunSpec, thaw
+from repro.engine.workload import build_query, build_topology, memoized_workload
+from repro.joins import JoinExecutor
+from repro.network.failures import FailureInjector
+from repro.network.links import LinkModel, lossy_links
+from repro.network.topology import Topology
+from repro.network.traffic import TrafficAccounting
+from repro.query.query import JoinQuery
+
+
+def run_single(
+    query: JoinQuery,
+    topology: Topology,
+    data_source,
+    algorithm: str,
+    assumed_selectivities,
+    cycles: int,
+    seed: int = 0,
+    accounting: TrafficAccounting = TrafficAccounting.BYTES,
+    failure_injector: Optional[FailureInjector] = None,
+    queue_capacity: Optional[int] = None,
+    strategy_kwargs: Optional[Dict] = None,
+    copy_topology: Optional[bool] = None,
+    link_model: Optional[LinkModel] = None,
+) -> RunResult:
+    """One run of one algorithm.
+
+    The topology (and its warmed PathCache) is shared across seeded runs:
+    a copy is only taken when the run will mutate it, i.e. when a failure
+    injector is present (``copy_topology`` overrides the auto-detection).
+    """
+    if copy_topology is None:
+        copy_topology = failure_injector is not None and not failure_injector.is_empty()
+    strategy = make_strategy(algorithm, **(strategy_kwargs or {}))
+    executor = JoinExecutor(
+        query=query,
+        topology=topology.copy() if copy_topology else topology,
+        data_source=data_source,
+        strategy=strategy,
+        assumed_selectivities=assumed_selectivities,
+        link_model=link_model,
+        accounting=accounting,
+        failure_injector=failure_injector,
+        queue_capacity=queue_capacity,
+        seed=seed,
+    )
+    report = executor.run(cycles)
+    return RunResult(algorithm=algorithm, seed=seed, report=report)
+
+
+def _strategy_kwargs_from_spec(spec: RunSpec) -> Optional[Dict]:
+    """Thaw strategy kwargs, rebuilding declarative policy objects."""
+    kwargs = thaw(spec.strategy_kwargs)
+    if not kwargs:
+        return None
+    policy = kwargs.get("adaptive_policy")
+    if isinstance(policy, dict):
+        from repro.core.adaptive import AdaptivePolicy
+
+        kwargs["adaptive_policy"] = AdaptivePolicy(**{
+            key: value for key, value in policy.items()
+        })
+    return kwargs
+
+
+def execute_run(spec: RunSpec) -> RunResult:
+    """Materialize and run one RunSpec (the unit a pool worker executes)."""
+    topology_key = (spec.topology_preset, spec.topology_seed, spec.num_nodes)
+    # num_nodes is always resolved at expansion time, so no scale is needed.
+    topology = build_topology(
+        None, preset=spec.topology_preset, seed=spec.topology_seed,
+        num_nodes=spec.num_nodes,
+    )
+    query_key = (spec.query, spec.query_kwargs)
+    query = build_query(spec.query, spec.query_kwargs)
+    data_source = memoized_workload(
+        topology_key, topology, query_key, query,
+        spec.data_selectivities, seed=spec.workload_seed,
+    )
+    injector = None
+    if spec.failures:
+        injector = FailureInjector()
+        for node_id, cycle in spec.failures:
+            injector.schedule(node_id, cycle)
+    link_model = None
+    if spec.link_loss is not None:
+        link_model = lossy_links(spec.link_loss, seed=spec.link_seed)
+    return run_single(
+        query,
+        topology,
+        data_source,
+        spec.algorithm,
+        spec.assumed_selectivities,
+        cycles=spec.cycles,
+        seed=spec.seed,
+        accounting=TrafficAccounting(spec.accounting),
+        failure_injector=injector,
+        queue_capacity=spec.queue_capacity,
+        strategy_kwargs=_strategy_kwargs_from_spec(spec),
+        link_model=link_model,
+    )

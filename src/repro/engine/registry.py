@@ -1,0 +1,190 @@
+"""Strategy and query-builder registries.
+
+The scenario layer refers to join algorithms and queries *by name* so a
+:class:`~repro.engine.spec.RunSpec` stays pure data (JSON-able, hashable,
+picklable).  This module owns the name -> builder mappings and exposes
+entry-point-style registration hooks so external code (plugins, notebooks,
+future workloads) can add algorithms or query builders without touching the
+engine:
+
+    from repro.engine import register_strategy
+
+    @register_strategy("my-join")
+    def _build(**kwargs):
+        return MyJoin(**kwargs)
+
+Both registries are plain process-global dictionaries; under the
+multiprocessing executor each worker process re-imports this module and gets
+the built-in entries (fork-started workers additionally inherit any runtime
+registrations made before the pool was created).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.joins import (
+    BaseJoin,
+    GHTJoin,
+    InnetJoin,
+    InnetVariant,
+    NaiveJoin,
+    ThroughBaseJoin,
+)
+from repro.joins.base import JoinStrategy
+from repro.query.query import JoinQuery
+
+
+class Registry:
+    """A name -> builder mapping with a decorator-style registration hook."""
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        self._builders: Dict[str, Callable] = {}
+
+    def register(self, name: str, builder: Optional[Callable] = None):
+        """Register *builder* under *name*; usable directly or as a decorator."""
+
+        def _register(fn: Callable) -> Callable:
+            self._builders[name] = fn
+            return fn
+
+        if builder is not None:
+            return _register(builder)
+        return _register
+
+    def create(self, name: str, **kwargs):
+        try:
+            builder = self._builders[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown {self.kind} {name!r}; expected one of {self.names()}"
+            ) from None
+        return builder(**kwargs)
+
+    def names(self) -> List[str]:
+        return sorted(self._builders)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._builders
+
+    def name_for(self, builder: Callable) -> Optional[str]:
+        """Reverse lookup: the registered name of *builder*, if any."""
+        for name, candidate in self._builders.items():
+            if candidate is builder:
+                return name
+        return None
+
+    @property
+    def builders(self) -> Dict[str, Callable]:
+        """The live name -> builder mapping (mutate via :meth:`register`)."""
+        return self._builders
+
+
+# ---------------------------------------------------------------------------
+# join strategies (the figure labels of the paper's evaluation)
+# ---------------------------------------------------------------------------
+
+STRATEGIES = Registry("algorithm")
+register_strategy = STRATEGIES.register
+
+register_strategy("naive", lambda **kw: NaiveJoin())
+register_strategy("base", lambda **kw: BaseJoin())
+register_strategy("ght", lambda **kw: GHTJoin())
+register_strategy("dht", lambda **kw: GHTJoin(use_dht=True))
+register_strategy("yang07", lambda **kw: ThroughBaseJoin())
+register_strategy("innet", lambda **kw: InnetJoin(InnetVariant.basic(), **kw))
+register_strategy("innet-cm", lambda **kw: InnetJoin(InnetVariant.cm(), **kw))
+register_strategy("innet-cmg", lambda **kw: InnetJoin(InnetVariant.cmg(), **kw))
+register_strategy("innet-cmp", lambda **kw: InnetJoin(InnetVariant.cmp(), **kw))
+register_strategy("innet-cmpg", lambda **kw: InnetJoin(InnetVariant.cmpg(), **kw))
+register_strategy("innet-learn", lambda **kw: InnetJoin(InnetVariant.learn(), **kw))
+register_strategy(
+    "innet-basic-learn",
+    lambda **kw: InnetJoin(InnetVariant.learn(InnetVariant.basic()), **kw),
+)
+
+
+def make_strategy(name: str, **kwargs) -> JoinStrategy:
+    """Instantiate a join strategy by its figure label."""
+    return STRATEGIES.create(name, **kwargs)
+
+
+def available_algorithms() -> List[str]:
+    return STRATEGIES.names()
+
+
+#: The six algorithms shown in Figures 2 and 3.
+FIGURE2_ALGORITHMS = ["naive", "base", "ght", "innet", "innet-cmg", "innet-cmpg"]
+#: The four algorithms shown in the mesh-network Figures 19 and 20.
+MESH_ALGORITHMS = ["naive", "base", "dht", "innet-cmg"]
+
+
+# ---------------------------------------------------------------------------
+# query builders (Table 2)
+# ---------------------------------------------------------------------------
+
+QUERIES = Registry("query")
+register_query_builder = QUERIES.register
+
+_INLINE_PREFIX = "_inline/"
+_INLINE_MAX = 32
+_inline_counter = 0
+_inline_names: List[str] = []
+
+
+def _register_builtin_queries() -> None:
+    from repro.workloads.queries import (
+        build_query0,
+        build_query1,
+        build_query2,
+        build_query3,
+    )
+
+    QUERIES.register("query0", build_query0)
+    QUERIES.register("query1", build_query1)
+    QUERIES.register("query2", build_query2)
+    QUERIES.register("query3", build_query3)
+
+
+_register_builtin_queries()
+
+
+def make_query(name: str, **kwargs) -> JoinQuery:
+    """Build a query by its registered name."""
+    return QUERIES.create(name, **kwargs)
+
+
+def resolve_query_name(query_builder: Callable[..., JoinQuery]) -> str:
+    """The registered name of a query-builder callable.
+
+    Unregistered callables (ad-hoc lambdas from legacy call sites) get a
+    process-local ``_inline/N`` registration so the engine can still schedule
+    them; such scenarios are not portable across processes and the runner
+    falls back to serial execution for them.  Inline registrations are
+    bounded: beyond the newest ``_INLINE_MAX`` the oldest are evicted, so a
+    long-lived process churning ad-hoc lambdas cannot grow the registry (or
+    retain the lambdas' closures) without limit.
+    """
+    name = QUERIES.name_for(query_builder)
+    if name is not None:
+        return name
+    global _inline_counter
+    _inline_counter += 1
+    name = f"{_INLINE_PREFIX}{_inline_counter}"
+    QUERIES.register(name, query_builder)
+    _inline_names.append(name)
+    while len(_inline_names) > _INLINE_MAX:
+        QUERIES.builders.pop(_inline_names.pop(0), None)
+    return name
+
+
+def clear_inline_queries() -> None:
+    """Drop every process-local ad-hoc query registration."""
+    while _inline_names:
+        QUERIES.builders.pop(_inline_names.pop(), None)
+
+
+def is_inline_query(name: str) -> bool:
+    """Whether *name* is a process-local ad-hoc registration."""
+    return name.startswith(_INLINE_PREFIX)

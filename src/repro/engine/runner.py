@@ -1,0 +1,206 @@
+"""Scheduling RunSpecs: serial reference and multiprocessing pool executors.
+
+A :class:`SweepRunner` expands a :class:`~repro.engine.spec.ScenarioSpec`
+into RunSpecs, skips the ones a :class:`~repro.engine.store.ResultStore`
+already holds (resume), executes the rest -- in-process, or fanned out over a
+``multiprocessing`` pool whose workers each hold their own bounded
+topology/query/data-source caches -- and aggregates the streamed-back
+reports exactly as the serial harness always did (per-algorithm means and
+Student-t 95 % confidence intervals, runs ordered by run index).
+
+Because every run is a deterministic function of its RunSpec, the parallel
+executor produces aggregates identical to the serial reference.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.execution import execute_run
+from repro.engine.registry import is_inline_query
+from repro.engine.results import AggregateResult, RunResult
+from repro.engine.spec import ExperimentScale, RunSpec, ScenarioSpec, scale_from_env
+from repro.engine.store import ResultStore
+from repro.joins.base import ExecutionReport
+
+
+def _pool_execute(spec: RunSpec) -> Tuple[RunSpec, ExecutionReport]:
+    """Top-level worker entry point (must be picklable)."""
+    return spec, execute_run(spec).report
+
+
+@dataclass
+class SettingResult:
+    """All algorithm aggregates at one grid point."""
+
+    setting: Dict[str, Any]
+    aggregates: Dict[str, AggregateResult] = field(default_factory=dict)
+
+
+@dataclass
+class SweepResult:
+    """The aggregated outcome of one scenario sweep."""
+
+    scenario: ScenarioSpec
+    scale_name: str
+    groups: List[SettingResult]
+    executed: int       # runs actually executed this invocation
+    from_store: int     # runs served by the result store
+
+    @property
+    def total_runs(self) -> int:
+        return self.executed + self.from_store
+
+    def only(self) -> Dict[str, AggregateResult]:
+        """The aggregates of a scenario without a grid (single setting)."""
+        if len(self.groups) != 1:
+            raise ValueError(
+                f"scenario {self.scenario.name!r} has {len(self.groups)} grid "
+                "points; address them via .groups"
+            )
+        return self.groups[0].aggregates
+
+    def rows(self, metrics: Optional[Sequence[str]] = None,
+             to_kb: bool = True) -> List[Dict[str, object]]:
+        """Flatten into table rows: one per (grid point, algorithm)."""
+        metrics = list(metrics or self.scenario.metrics)
+        divisor = 1000.0 if to_kb else 1.0
+        suffix = "_kb" if to_kb else ""
+        rows: List[Dict[str, object]] = []
+        for group in self.groups:
+            for algorithm, aggregate in group.aggregates.items():
+                row: Dict[str, object] = dict(group.setting)
+                row["algorithm"] = algorithm
+                for metric in metrics:
+                    row[f"{metric}{suffix}"] = aggregate.mean(metric) / divisor
+                    row[f"{metric}_ci95{suffix}"] = aggregate.confidence_95(metric) / divisor
+                rows.append(row)
+        return rows
+
+
+class SweepRunner:
+    """Schedules a scenario's RunSpecs over a pluggable executor.
+
+    Parameters
+    ----------
+    jobs:
+        1 runs the serial reference executor in-process; N > 1 fans runs out
+        over a ``multiprocessing`` pool of N workers.
+    store:
+        Optional :class:`ResultStore` (or path to one).  Completed runs are
+        looked up by spec hash and skipped; new results are persisted.
+    resume:
+        When False the store is still written but never consulted, so every
+        run re-executes.
+    progress:
+        Optional callable ``(done, total, spec)`` invoked as results arrive.
+    """
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        store: Optional[ResultStore] = None,
+        resume: bool = True,
+        progress: Optional[Callable[[int, int, RunSpec], None]] = None,
+    ) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.jobs = jobs
+        self.store = ResultStore(store) if isinstance(store, (str, os.PathLike)) else store
+        self.resume = resume
+        self.progress = progress
+        self.last_executed = 0
+        self.last_from_store = 0
+
+    # ------------------------------------------------------------------
+    def run(self, scenario: ScenarioSpec,
+            scale: Optional[ExperimentScale] = None) -> SweepResult:
+        scale = scale or scale_from_env()
+        specs = scenario.expand(scale)
+        portable = all(not is_inline_query(spec.query) for spec in specs)
+
+        reports: Dict[RunSpec, ExecutionReport] = {}
+        from_store = 0
+        pending: List[RunSpec] = []
+        if self.store is not None and portable and self.resume:
+            keys = {spec: spec.run_key() for spec in specs}
+            done = self.store.completed(keys.values())
+            for spec in specs:
+                if keys[spec] in done:
+                    report = self.store.get(keys[spec])
+                    if report is not None:
+                        reports[spec] = report
+                        from_store += 1
+                        continue
+                pending.append(spec)
+        else:
+            pending = list(specs)
+
+        executed = self._execute(pending, reports, total=len(specs), done=from_store,
+                                 portable=portable)
+        if self.store is not None and portable and executed:
+            self.store.put_many((spec, reports[spec]) for spec in pending)
+
+        self.last_executed = executed
+        self.last_from_store = from_store
+        return SweepResult(
+            scenario=scenario,
+            scale_name=scale.name,
+            groups=self._aggregate(scenario, specs, reports),
+            executed=executed,
+            from_store=from_store,
+        )
+
+    # ------------------------------------------------------------------
+    def _execute(self, pending: List[RunSpec], reports: Dict[RunSpec, ExecutionReport],
+                 total: int, done: int, portable: bool) -> int:
+        if not pending:
+            return 0
+        if self.jobs > 1 and portable and len(pending) > 1:
+            # fork (where available) lets workers inherit warmed caches and
+            # runtime registrations; spawn-only platforms re-import cleanly.
+            method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+            context = multiprocessing.get_context(method)
+            workers = min(self.jobs, len(pending))
+            chunksize = max(1, len(pending) // (workers * 4))
+            with context.Pool(processes=workers) as pool:
+                for spec, report in pool.imap_unordered(
+                    _pool_execute, pending, chunksize=chunksize
+                ):
+                    reports[spec] = report
+                    done += 1
+                    if self.progress is not None:
+                        self.progress(done, total, spec)
+        else:
+            for spec in pending:
+                reports[spec] = execute_run(spec).report
+                done += 1
+                if self.progress is not None:
+                    self.progress(done, total, spec)
+        return len(pending)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _aggregate(scenario: ScenarioSpec, specs: List[RunSpec],
+                   reports: Dict[RunSpec, ExecutionReport]) -> List[SettingResult]:
+        groups: Dict[Tuple, SettingResult] = {}
+        for spec in specs:
+            group = groups.get(spec.setting)
+            if group is None:
+                group = groups[spec.setting] = SettingResult(setting=spec.setting_dict())
+            aggregate = group.aggregates.get(spec.algorithm)
+            if aggregate is None:
+                aggregate = group.aggregates[spec.algorithm] = AggregateResult(
+                    algorithm=spec.algorithm
+                )
+            aggregate.runs.append(
+                RunResult(algorithm=spec.algorithm, seed=spec.seed,
+                          report=reports[spec])
+            )
+        for group in groups.values():
+            for aggregate in group.aggregates.values():
+                aggregate.runs.sort(key=lambda run: run.seed)
+        return list(groups.values())

@@ -1,0 +1,432 @@
+"""Declarative scenario and run specifications.
+
+A :class:`ScenarioSpec` describes a whole experiment sweep as *data*: the
+topology preset, the query, the workload selectivities, the algorithms, the
+link/failure configuration and an optional parameter ``grid`` whose cartesian
+product is expanded -- one grid point per figure series point -- into frozen,
+hashable :class:`RunSpec` units.  A ``RunSpec`` is one seeded run of one
+algorithm at one grid point; it is pure data (picklable, JSON-able), which is
+what lets the execution layer schedule runs across worker processes and the
+result store key completed runs by content hash.
+
+Scenarios round-trip through plain dictionaries, JSON and TOML, so they can
+be authored as files (see ``examples/scenarios/``) and run from the CLI with
+``python -m repro.experiments run-scenario``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict, dataclass, field, fields, replace
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from repro.core.cost_model import Selectivities
+from repro.workloads.selectivity import selectivities_for_ratio
+
+# ---------------------------------------------------------------------------
+# scale presets
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ExperimentScale:
+    """How big an experiment run should be.
+
+    ``paper`` matches the evaluation section (9 runs, 100-800 cycles,
+    100 nodes); ``default`` keeps the same structure at a laptop-friendly
+    size; ``smoke`` is for unit tests of the harness itself.
+    """
+
+    name: str
+    runs: int
+    cycles: int
+    num_nodes: int
+    long_cycles: int
+
+    def scaled_cycles(self, requested: Optional[int] = None) -> int:
+        return requested if requested is not None else self.cycles
+
+
+SCALES: Dict[str, ExperimentScale] = {
+    "smoke": ExperimentScale(name="smoke", runs=1, cycles=10, num_nodes=60, long_cycles=30),
+    "default": ExperimentScale(name="default", runs=2, cycles=40, num_nodes=100, long_cycles=120),
+    "paper": ExperimentScale(name="paper", runs=9, cycles=100, num_nodes=100, long_cycles=800),
+}
+
+
+def scale_from_env(default: str = "default") -> ExperimentScale:
+    """Pick the scale from the ``REPRO_SCALE`` environment variable."""
+    name = os.environ.get("REPRO_SCALE", default).lower()
+    if name not in SCALES:
+        raise KeyError(f"unknown REPRO_SCALE {name!r}; expected one of {sorted(SCALES)}")
+    return SCALES[name]
+
+
+# ---------------------------------------------------------------------------
+# freezing helpers: RunSpec fields must be hashable and deterministic
+# ---------------------------------------------------------------------------
+
+FrozenMapping = Tuple[Tuple[str, Any], ...]
+
+
+def freeze(value: Any) -> Any:
+    """Recursively convert mappings/sequences into hashable tuples."""
+    if isinstance(value, Mapping):
+        return tuple((str(k), freeze(v)) for k, v in sorted(value.items()))
+    if isinstance(value, (list, tuple, set, frozenset)):
+        items = sorted(value) if isinstance(value, (set, frozenset)) else value
+        return tuple(freeze(v) for v in items)
+    return value
+
+
+def thaw(value: Any) -> Any:
+    """Invert :func:`freeze`: nested (key, value) tuples back into dicts."""
+    if isinstance(value, tuple):
+        if all(
+            isinstance(item, tuple) and len(item) == 2 and isinstance(item[0], str)
+            for item in value
+        ):
+            return {key: thaw(item) for key, item in value}
+        return [thaw(item) for item in value]
+    return value
+
+
+def _jsonable(value: Any) -> Any:
+    """Frozen tuples -> plain lists/dicts so json.dumps stays canonical."""
+    thawed = thaw(value) if isinstance(value, tuple) else value
+    if isinstance(thawed, Mapping):
+        return {str(k): _jsonable(v) for k, v in thawed.items()}
+    if isinstance(thawed, (list, tuple)):
+        return [_jsonable(v) for v in thawed]
+    return thawed
+
+
+def canonical_json(payload: Any) -> str:
+    """Deterministic JSON used for content hashing."""
+    return json.dumps(_jsonable(payload), sort_keys=True, separators=(",", ":"))
+
+
+def content_hash(payload: Any) -> str:
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
+
+
+# ---------------------------------------------------------------------------
+# run specification: one schedulable unit
+# ---------------------------------------------------------------------------
+
+#: Bump when the execution semantics change in a way that invalidates stored
+#: results (the hash of every RunSpec includes this salt).
+ENGINE_VERSION = 1
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One seeded run of one algorithm at one grid point.  Pure data."""
+
+    scenario: str
+    setting: FrozenMapping          # grid-point values, e.g. (("ratio", "1/2:1/2"), ...)
+    query: str
+    query_kwargs: FrozenMapping
+    algorithm: str
+    run_index: int
+    seed: int
+    workload_seed: int
+    cycles: int
+    topology_preset: str
+    topology_seed: int
+    num_nodes: int
+    sigma_s: float
+    sigma_t: float
+    sigma_st: float
+    assumed_sigma_s: float
+    assumed_sigma_t: float
+    assumed_sigma_st: float
+    accounting: str = "bytes"
+    queue_capacity: Optional[int] = None
+    link_loss: Optional[float] = None
+    link_seed: int = 0
+    failures: Tuple[Tuple[int, int], ...] = ()   # (node_id, sampling_cycle)
+    strategy_kwargs: FrozenMapping = ()
+
+    @property
+    def data_selectivities(self) -> Selectivities:
+        return Selectivities(self.sigma_s, self.sigma_t, self.sigma_st)
+
+    @property
+    def assumed_selectivities(self) -> Selectivities:
+        return Selectivities(
+            self.assumed_sigma_s, self.assumed_sigma_t, self.assumed_sigma_st
+        )
+
+    def setting_dict(self) -> Dict[str, Any]:
+        return thaw(self.setting) if self.setting else {}
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        for key in ("setting", "query_kwargs", "strategy_kwargs"):
+            payload[key] = _jsonable(payload[key])
+        payload["failures"] = [list(event) for event in self.failures]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "RunSpec":
+        data = dict(payload)
+        for key in ("setting", "query_kwargs", "strategy_kwargs"):
+            data[key] = freeze(data.get(key) or {})
+        data["failures"] = tuple(
+            (int(node), int(cycle)) for node, cycle in data.get("failures") or ()
+        )
+        return cls(**data)
+
+    def run_key(self) -> str:
+        """Content hash identifying this run in the result store."""
+        payload = self.to_dict()
+        payload["engine_version"] = ENGINE_VERSION
+        return content_hash(payload)
+
+    def __hash__(self) -> int:  # dict-free fields only, all hashable
+        return hash((self.scenario, self.setting, self.query, self.query_kwargs,
+                     self.algorithm, self.run_index, self.seed))
+
+
+# ---------------------------------------------------------------------------
+# scenario specification
+# ---------------------------------------------------------------------------
+
+#: Grid axes that override a ScenarioSpec field directly.
+_FIELD_AXES = {
+    "query", "cycles", "num_nodes", "topology_preset", "topology_seed",
+    "queue_capacity", "link_loss", "accounting",
+}
+#: Grid axes with workload-specific handling.
+_WORKLOAD_AXES = {"ratio", "sigma_st", "sigma_s", "sigma_t"}
+
+
+def _selectivity_config(config: Mapping[str, Any]) -> Dict[str, float]:
+    """Normalize a data/assumed block into {sigma_s, sigma_t, sigma_st}.
+
+    Accepts either explicit sigmas or a Figure 2-style ``ratio`` ladder label
+    plus ``sigma_st``; when both are present the ratio wins.
+    """
+    config = dict(config)
+    sigma_st = float(config.pop("sigma_st", 0.2))
+    if "ratio" in config:
+        sel = selectivities_for_ratio(str(config.pop("ratio")), sigma_st)
+        config.pop("sigma_s", None)
+        config.pop("sigma_t", None)
+        out = {"sigma_s": sel.sigma_s, "sigma_t": sel.sigma_t, "sigma_st": sel.sigma_st}
+    else:
+        out = {"sigma_s": float(config.pop("sigma_s", 0.5)),
+               "sigma_t": float(config.pop("sigma_t", 0.5)),
+               "sigma_st": sigma_st}
+    if config:
+        raise ValueError(
+            f"unknown selectivity field(s) {sorted(config)}; expected "
+            "sigma_s/sigma_t/sigma_st or ratio/sigma_st"
+        )
+    return out
+
+
+def _apply_workload_overrides(data: Dict[str, float],
+                              overrides: Mapping[str, Any]) -> Dict[str, float]:
+    """Apply grid-axis workload overrides onto resolved selectivities.
+
+    A ``ratio`` override resolves sigma_s/sigma_t from the ladder; explicit
+    ``sigma_*`` overrides win over anything ratio-derived.
+    """
+    data = dict(data)
+    if "ratio" in overrides:
+        sel = selectivities_for_ratio(str(overrides["ratio"]), data["sigma_st"])
+        data["sigma_s"], data["sigma_t"] = sel.sigma_s, sel.sigma_t
+    for key in ("sigma_s", "sigma_t", "sigma_st"):
+        if key in overrides:
+            data[key] = float(overrides[key])
+    return data
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """A declarative description of an experiment sweep."""
+
+    name: str
+    query: str = "query1"
+    query_kwargs: Mapping[str, Any] = field(default_factory=dict)
+    algorithms: Tuple[str, ...] = ("naive", "base")
+    data: Mapping[str, Any] = field(default_factory=lambda: {"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": 0.2})
+    assumed: Optional[Mapping[str, Any]] = None
+    topology_preset: str = "moderate"
+    topology_seed: int = 0
+    num_nodes: Optional[int] = None
+    runs: Optional[int] = None
+    cycles: Optional[int] = None
+    #: With cycles=None, resolve against the scale's long_cycles (the paper's
+    #: long-duration experiments) instead of its standard cycles.
+    use_long_cycles: bool = False
+    accounting: str = "bytes"
+    queue_capacity: Optional[int] = None
+    link_loss: Optional[float] = None
+    link_seed: int = 0
+    failures: Tuple[Mapping[str, Any], ...] = ()
+    strategy_kwargs: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
+    grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    metrics: Tuple[str, ...] = ("total_traffic", "base_traffic", "max_node_load")
+    seed_base: int = 0
+    workload_seed_base: int = 100
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "algorithms", tuple(self.algorithms))
+        object.__setattr__(self, "metrics", tuple(self.metrics))
+        object.__setattr__(self, "failures", tuple(dict(f) for f in self.failures))
+        for axis in self.grid:
+            if axis not in _FIELD_AXES | _WORKLOAD_AXES:
+                raise ValueError(
+                    f"unknown grid axis {axis!r}; expected one of "
+                    f"{sorted(_FIELD_AXES | _WORKLOAD_AXES)}"
+                )
+        if self.accounting not in ("bytes", "messages"):
+            raise ValueError("accounting must be 'bytes' or 'messages'")
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        payload = asdict(self)
+        payload["query_kwargs"] = _jsonable(dict(self.query_kwargs))
+        payload["data"] = _jsonable(dict(self.data))
+        payload["assumed"] = _jsonable(dict(self.assumed)) if self.assumed is not None else None
+        payload["strategy_kwargs"] = _jsonable({k: dict(v) for k, v in self.strategy_kwargs.items()})
+        payload["grid"] = _jsonable({k: list(v) for k, v in self.grid.items()})
+        payload["algorithms"] = list(self.algorithms)
+        payload["metrics"] = list(self.metrics)
+        payload["failures"] = [dict(f) for f in self.failures]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario field(s) {sorted(unknown)}; expected a subset "
+                f"of {sorted(known)}"
+            )
+        data = dict(payload)
+        for key in ("algorithms", "metrics"):
+            if key in data and data[key] is not None:
+                data[key] = tuple(data[key])
+        if "failures" in data and data["failures"] is not None:
+            data["failures"] = tuple(dict(f) for f in data["failures"])
+        return cls(**data)
+
+    def to_json(self, indent: int = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True) + "\n"
+
+    @classmethod
+    def from_json(cls, text: str) -> "ScenarioSpec":
+        return cls.from_dict(json.loads(text))
+
+    def spec_hash(self) -> str:
+        """Stable content hash of the scenario definition."""
+        return content_hash(self.to_dict())
+
+    def __hash__(self) -> int:
+        return hash(self.spec_hash())
+
+    def with_overrides(self, **overrides) -> "ScenarioSpec":
+        return replace(self, **overrides)
+
+    # -- expansion ----------------------------------------------------------
+    def grid_points(self) -> List[Dict[str, Any]]:
+        """The cartesian product of the grid axes, in declaration order."""
+        points: List[Dict[str, Any]] = [{}]
+        for axis, values in self.grid.items():
+            points = [dict(point, **{axis: value}) for point in points for value in values]
+        return points
+
+    def expand(self, scale: Optional[ExperimentScale] = None) -> List[RunSpec]:
+        """Expand into frozen RunSpecs: grid points x algorithms x run indices."""
+        scale = scale or scale_from_env()
+        runs = self.runs if self.runs is not None else scale.runs
+        default_cycles = (
+            self.cycles if self.cycles is not None
+            else (scale.long_cycles if self.use_long_cycles else scale.cycles)
+        )
+        specs: List[RunSpec] = []
+        for setting in self.grid_points():
+            field_overrides = {k: v for k, v in setting.items() if k in _FIELD_AXES}
+            workload_overrides = {k: v for k, v in setting.items() if k in _WORKLOAD_AXES}
+
+            data = _apply_workload_overrides(
+                _selectivity_config(self.data), workload_overrides
+            )
+            if self.assumed is not None:
+                assumed = _apply_workload_overrides(
+                    _selectivity_config(self.assumed), workload_overrides
+                )
+            else:
+                assumed = dict(data)
+
+            query = str(field_overrides.get("query", self.query))
+            cycles = int(field_overrides.get("cycles", default_cycles))
+            num_nodes = int(field_overrides.get(
+                "num_nodes", self.num_nodes if self.num_nodes is not None else scale.num_nodes
+            ))
+            failures = tuple(sorted(
+                (int(event["node"]),
+                 int(event["cycle"]) if "cycle" in event
+                 else int(cycles * float(event["at_fraction"])))
+                for event in self.failures
+            ))
+            for run_index in range(runs):
+                for algorithm in self.algorithms:
+                    specs.append(RunSpec(
+                        scenario=self.name,
+                        setting=freeze(setting),
+                        query=query,
+                        query_kwargs=freeze(dict(self.query_kwargs)),
+                        algorithm=algorithm,
+                        run_index=run_index,
+                        seed=self.seed_base + run_index,
+                        workload_seed=self.workload_seed_base + run_index,
+                        cycles=cycles,
+                        topology_preset=str(field_overrides.get("topology_preset", self.topology_preset)),
+                        topology_seed=int(field_overrides.get("topology_seed", self.topology_seed)),
+                        num_nodes=num_nodes,
+                        sigma_s=data["sigma_s"],
+                        sigma_t=data["sigma_t"],
+                        sigma_st=data["sigma_st"],
+                        assumed_sigma_s=assumed["sigma_s"],
+                        assumed_sigma_t=assumed["sigma_t"],
+                        assumed_sigma_st=assumed["sigma_st"],
+                        accounting=str(field_overrides.get("accounting", self.accounting)),
+                        queue_capacity=field_overrides.get("queue_capacity", self.queue_capacity),
+                        link_loss=field_overrides.get("link_loss", self.link_loss),
+                        link_seed=self.link_seed,
+                        failures=failures,
+                        strategy_kwargs=freeze(dict(self.strategy_kwargs.get(algorithm, {}))),
+                    ))
+        return specs
+
+
+# ---------------------------------------------------------------------------
+# scenario files
+# ---------------------------------------------------------------------------
+
+
+def load_scenario_file(path: Union[str, Path]) -> ScenarioSpec:
+    """Load a scenario authored as a JSON or TOML file."""
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".toml":
+        import tomllib
+
+        payload = tomllib.loads(text)
+    elif path.suffix.lower() == ".json":
+        payload = json.loads(text)
+    else:
+        raise ValueError(f"unsupported scenario file type {path.suffix!r} "
+                         "(expected .json or .toml)")
+    payload.setdefault("name", path.stem)
+    return ScenarioSpec.from_dict(payload)

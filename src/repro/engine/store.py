@@ -1,0 +1,161 @@
+"""Persistent, spec-hash-keyed result store backed by SQLite.
+
+Every completed run is stored under its :meth:`RunSpec.run_key` content hash,
+so re-invoking a sweep skips everything that already ran -- paper-scale
+sweeps become resumable and interruptible.  The database uses WAL journaling
+(concurrent readers while the single writer -- the sweep driver process --
+appends) and ``synchronous=NORMAL``, the standard durable-enough setting for
+a derived-results cache.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Set, Union
+
+from repro.engine.spec import RunSpec
+from repro.joins.base import ExecutionReport
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS run_results (
+    run_key     TEXT PRIMARY KEY,
+    scenario    TEXT NOT NULL,
+    algorithm   TEXT NOT NULL,
+    run_index   INTEGER NOT NULL,
+    spec_json   TEXT NOT NULL,
+    report_json TEXT NOT NULL,
+    created_at  REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS run_results_scenario ON run_results (scenario);
+"""
+
+
+def report_to_dict(report: ExecutionReport) -> Dict:
+    payload = dict(report.__dict__)
+    payload["top_loaded_nodes"] = [list(item) for item in report.top_loaded_nodes]
+    return payload
+
+
+def report_from_dict(payload: Dict) -> ExecutionReport:
+    data = dict(payload)
+    data["top_loaded_nodes"] = [
+        (int(node), float(load)) for node, load in data.get("top_loaded_nodes", [])
+    ]
+    return ExecutionReport(**data)
+
+
+class ResultStore:
+    """SQLite-backed store of completed run reports, keyed by spec hash."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        if self.path.parent and not self.path.parent.exists():
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._connection = sqlite3.connect(str(self.path))
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        self._connection.execute("PRAGMA foreign_keys=ON")
+        self._connection.executescript(_SCHEMA)
+        self._connection.commit()
+
+    # -- context management -------------------------------------------------
+    def close(self) -> None:
+        self._connection.close()
+
+    def __enter__(self) -> "ResultStore":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- reads --------------------------------------------------------------
+    def __contains__(self, run_key: str) -> bool:
+        row = self._connection.execute(
+            "SELECT 1 FROM run_results WHERE run_key = ?", (run_key,)
+        ).fetchone()
+        return row is not None
+
+    def completed(self, run_keys: Iterable[str]) -> Set[str]:
+        """The subset of *run_keys* that already have a stored report."""
+        keys = list(run_keys)
+        found: Set[str] = set()
+        chunk = 500  # stay well under SQLite's bound-parameter limit
+        for start in range(0, len(keys), chunk):
+            batch = keys[start:start + chunk]
+            placeholders = ",".join("?" for _ in batch)
+            rows = self._connection.execute(
+                f"SELECT run_key FROM run_results WHERE run_key IN ({placeholders})",
+                batch,
+            ).fetchall()
+            found.update(row[0] for row in rows)
+        return found
+
+    def get(self, run_key: str) -> Optional[ExecutionReport]:
+        row = self._connection.execute(
+            "SELECT report_json FROM run_results WHERE run_key = ?", (run_key,)
+        ).fetchone()
+        if row is None:
+            return None
+        return report_from_dict(json.loads(row[0]))
+
+    def scenario_run_count(self, scenario: str) -> int:
+        row = self._connection.execute(
+            "SELECT COUNT(*) FROM run_results WHERE scenario = ?", (scenario,)
+        ).fetchone()
+        return int(row[0])
+
+    def scenarios(self) -> List[str]:
+        rows = self._connection.execute(
+            "SELECT DISTINCT scenario FROM run_results ORDER BY scenario"
+        ).fetchall()
+        return [row[0] for row in rows]
+
+    # -- writes -------------------------------------------------------------
+    def put(self, spec: RunSpec, report: ExecutionReport) -> str:
+        """Store (or overwrite) the report for *spec*; returns the run key."""
+        run_key = spec.run_key()
+        self._connection.execute(
+            "INSERT OR REPLACE INTO run_results "
+            "(run_key, scenario, algorithm, run_index, spec_json, report_json, created_at) "
+            "VALUES (?, ?, ?, ?, ?, ?, ?)",
+            (
+                run_key,
+                spec.scenario,
+                spec.algorithm,
+                spec.run_index,
+                json.dumps(spec.to_dict(), sort_keys=True),
+                json.dumps(report_to_dict(report), sort_keys=True),
+                time.time(),
+            ),
+        )
+        self._connection.commit()
+        return run_key
+
+    def put_many(self, entries: Iterable) -> int:
+        """Batch insert of (RunSpec, ExecutionReport) pairs in one transaction."""
+        count = 0
+        with self._connection:
+            for spec, report in entries:
+                run_key = spec.run_key()
+                self._connection.execute(
+                    "INSERT OR REPLACE INTO run_results "
+                    "(run_key, scenario, algorithm, run_index, spec_json, report_json, created_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                    (
+                        run_key,
+                        spec.scenario,
+                        spec.algorithm,
+                        spec.run_index,
+                        json.dumps(spec.to_dict(), sort_keys=True),
+                        json.dumps(report_to_dict(report), sort_keys=True),
+                        time.time(),
+                    ),
+                )
+                count += 1
+        return count
+
+    def journal_mode(self) -> str:
+        return self._connection.execute("PRAGMA journal_mode").fetchone()[0]

@@ -1,0 +1,190 @@
+"""Worker-local workload construction with bounded memo caches.
+
+Topology generation (and warming the topology's PathCache) is by far the most
+expensive part of a figure sweep, and every figure rebuilds the same
+deployment, so generated Table-1-attributed topologies are memoized and
+shared (treat them as read-only; the execution layer copies before any
+mutating experiment).  Queries and data sources are likewise deterministic in
+their parameters and are memoized so every algorithm run against the same
+workload shares one instance -- and therefore its per-cycle sample memos.
+
+Unlike the old process-global ``harness._TOPOLOGY_CACHE`` these caches are
+**bounded** (FIFO eviction) and expose :func:`reset_workload_caches`, so a
+long multi-scenario process cannot grow memory without limit.  Each
+multiprocessing worker holds its own copies -- the caches are plain module
+globals, private to the process.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+from repro.core.cost_model import Selectivities
+from repro.network.topology import Topology, topology_from_preset
+from repro.query.analysis import analyze_query
+from repro.query.query import JoinQuery
+from repro.workloads import (
+    SyntheticDataSource,
+    assign_table1_attributes,
+    build_send_probability_map,
+)
+
+#: FIFO bounds; a full paper sweep touches only a handful of distinct keys.
+TOPOLOGY_CACHE_MAX = 16
+QUERY_CACHE_MAX = 32
+DATA_SOURCE_CACHE_MAX = 64
+
+#: Memoized Table-1-attributed topologies, keyed (preset, seed, num_nodes).
+_TOPOLOGY_CACHE: Dict[Tuple[str, int, int], Topology] = {}
+_QUERY_CACHE: Dict[Tuple[str, Any], JoinQuery] = {}
+_DATA_SOURCE_CACHE: Dict[Tuple, SyntheticDataSource] = {}
+
+
+def _evict_to(cache: Dict, limit: int) -> None:
+    while len(cache) >= limit:
+        cache.pop(next(iter(cache)))
+
+
+def reset_workload_caches() -> None:
+    """Drop every memoized topology, query and data source.
+
+    Long-lived multi-scenario processes can call this between scenarios to
+    release the retained deployments (and, transitively, the per-cycle
+    producer-sample memos attached to the cached data sources).  Ad-hoc
+    inline query registrations are dropped too.
+    """
+    from repro.engine.registry import clear_inline_queries
+
+    _TOPOLOGY_CACHE.clear()
+    _QUERY_CACHE.clear()
+    _DATA_SOURCE_CACHE.clear()
+    clear_inline_queries()
+
+
+def workload_cache_stats() -> Dict[str, int]:
+    """Current cache occupancy (for tests and monitoring)."""
+    return {
+        "topologies": len(_TOPOLOGY_CACHE),
+        "queries": len(_QUERY_CACHE),
+        "data_sources": len(_DATA_SOURCE_CACHE),
+    }
+
+
+def build_topology(scale, preset: str = "moderate", seed: int = 0,
+                   num_nodes: Optional[int] = None,
+                   fresh: bool = False) -> Topology:
+    """A Table-1-attributed topology of the requested density.
+
+    Returns a memoized shared instance (treat it as read-only) unless
+    ``fresh`` is set.  Topology generation and attribute assignment are
+    deterministic in (preset, seed, num_nodes), so sharing does not change
+    any experiment's results.
+    """
+    key = (preset, seed, num_nodes if num_nodes is not None else scale.num_nodes)
+    if not fresh:
+        cached = _TOPOLOGY_CACHE.get(key)
+        if cached is not None:
+            return cached
+    topo = topology_from_preset(preset, num_nodes=key[2], seed=seed)
+    assign_table1_attributes(topo, seed=seed)
+    if not fresh:
+        _evict_to(_TOPOLOGY_CACHE, TOPOLOGY_CACHE_MAX)
+        _TOPOLOGY_CACHE[key] = topo
+    return topo
+
+
+def build_query(name: str, frozen_kwargs: Tuple = ()) -> JoinQuery:
+    """A memoized query instance for a registered builder name.
+
+    Queries are read-only after construction; sharing one instance across
+    runs mirrors what ``run_comparison`` always did.
+    """
+    from repro.engine.registry import is_inline_query, make_query
+    from repro.engine.spec import thaw
+
+    key = (name, frozen_kwargs)
+    cached = _QUERY_CACHE.get(key)
+    if cached is not None:
+        return cached
+    query = make_query(name, **(thaw(frozen_kwargs) or {}))
+    if not is_inline_query(name):
+        _evict_to(_QUERY_CACHE, QUERY_CACHE_MAX)
+        _QUERY_CACHE[key] = query
+    return query
+
+
+def build_workload(
+    topology: Topology,
+    query: JoinQuery,
+    data_selectivities: Selectivities,
+    seed: int = 0,
+    per_node_send_probability: Optional[Dict[int, float]] = None,
+    per_node_u_range: Optional[Dict[int, int]] = None,
+    switch_cycle: Optional[int] = None,
+    switched_to: Optional[Selectivities] = None,
+) -> SyntheticDataSource:
+    """A data source whose realized selectivities match ``data_selectivities``."""
+    analysis = analyze_query(query)
+    eligible_s = [
+        n for n in topology.node_ids
+        if analysis.node_eligible("S", topology.nodes[n].static_attributes)
+    ]
+    eligible_t = [
+        n for n in topology.node_ids
+        if analysis.node_eligible("T", topology.nodes[n].static_attributes)
+    ]
+    send_map = build_send_probability_map(
+        eligible_s, eligible_t,
+        data_selectivities.sigma_s, data_selectivities.sigma_t,
+    )
+    if per_node_send_probability:
+        send_map.update(per_node_send_probability)
+    switched_source = None
+    if switch_cycle is not None and switched_to is not None:
+        switched_map = build_send_probability_map(
+            eligible_s, eligible_t, switched_to.sigma_s, switched_to.sigma_t
+        )
+        switched_source = SyntheticDataSource(
+            sigma_st=switched_to.sigma_st,
+            send_probability=0.0,
+            seed=seed + 1,
+            per_node_send_probability=switched_map,
+        )
+    return SyntheticDataSource(
+        sigma_st=data_selectivities.sigma_st,
+        send_probability=0.0,
+        seed=seed,
+        per_node_send_probability=send_map,
+        per_node_u_range=per_node_u_range or {},
+        switch_cycle=switch_cycle,
+        switched=switched_source,
+    )
+
+
+def memoized_workload(
+    topology_key: Tuple[str, int, int],
+    topology: Topology,
+    query_key: Tuple[str, Any],
+    query: JoinQuery,
+    data_selectivities: Selectivities,
+    seed: int,
+) -> SyntheticDataSource:
+    """A shared data source for one (topology, query, selectivities, seed).
+
+    Data sources are pure functions of their parameters; sharing one
+    instance lets every algorithm run against the same workload reuse the
+    per-cycle producer-sample memos, exactly as the serial harness always
+    did by constructing the source once per run index.
+    """
+    key = (
+        topology_key, query_key, seed,
+        data_selectivities.sigma_s, data_selectivities.sigma_t,
+        data_selectivities.sigma_st,
+    )
+    cached = _DATA_SOURCE_CACHE.get(key)
+    if cached is not None:
+        return cached
+    source = build_workload(topology, query, data_selectivities, seed=seed)
+    _evict_to(_DATA_SOURCE_CACHE, DATA_SOURCE_CACHE_MAX)
+    _DATA_SOURCE_CACHE[key] = source
+    return source

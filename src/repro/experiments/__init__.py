@@ -1,9 +1,16 @@
 """Experiment harness reproducing every figure of the paper's evaluation.
 
-* :mod:`repro.experiments.harness` -- configuration objects, the strategy
-  factory, workload construction, multi-run averaging with confidence
-  intervals, and scale presets (``smoke`` / ``default`` / ``paper``) so the
-  same experiment can run as a quick benchmark or at the paper's full scale.
+* :mod:`repro.engine` -- the underlying scenario/execution/persistence
+  engine: declarative :class:`~repro.engine.spec.ScenarioSpec` sweeps, the
+  :class:`~repro.engine.runner.SweepRunner` (serial or multiprocessing
+  executors) and the SQLite-backed
+  :class:`~repro.engine.store.ResultStore` for resumable sweeps.
+* :mod:`repro.experiments.harness` -- the historical façade: scale presets
+  (``smoke`` / ``default`` / ``paper``), workload construction, and
+  :func:`~repro.experiments.harness.run_comparison` as a thin wrapper over
+  the engine.
+* :mod:`repro.experiments.scenarios` -- named built-in scenarios and
+  scenario-file discovery for the CLI.
 * :mod:`repro.experiments.figures_joins` -- Figures 2-9 (join algorithm
   comparison, cost-model validation, centralized-vs-distributed, MPO).
 * :mod:`repro.experiments.figures_adaptive` -- Figures 10-14 (learning,
@@ -13,29 +20,46 @@
 * :mod:`repro.experiments.report` -- plain-text tables mirroring the figures.
 """
 
+from repro.engine import (
+    ResultStore,
+    ScenarioSpec,
+    SweepResult,
+    SweepRunner,
+    load_scenario_file,
+    reset_workload_caches,
+)
 from repro.experiments.harness import (
     AggregateResult,
     ExperimentScale,
     RunResult,
     available_algorithms,
     build_workload,
+    comparison_scenario,
     make_strategy,
     run_comparison,
     run_single,
     scale_from_env,
 )
-from repro.experiments.report import format_table, results_to_rows
+from repro.experiments.report import format_table, results_to_rows, sweep_to_rows
 
 __all__ = [
+    "AggregateResult",
     "ExperimentScale",
-    "scale_from_env",
-    "make_strategy",
+    "ResultStore",
+    "RunResult",
+    "ScenarioSpec",
+    "SweepResult",
+    "SweepRunner",
     "available_algorithms",
     "build_workload",
-    "run_single",
-    "run_comparison",
-    "RunResult",
-    "AggregateResult",
+    "comparison_scenario",
     "format_table",
+    "load_scenario_file",
+    "make_strategy",
+    "reset_workload_caches",
     "results_to_rows",
+    "run_comparison",
+    "run_single",
+    "scale_from_env",
+    "sweep_to_rows",
 ]

@@ -1,25 +1,36 @@
-"""Command-line entry point for regenerating individual figures.
+"""Command-line entry point: figures, scenarios, parallel sweeps, result store.
 
-Usage::
+Figure interface (historical)::
 
     python -m repro.experiments --list
     python -m repro.experiments --figure fig02 --scale smoke
-    python -m repro.experiments --figure fig13 fig14 --scale default
+    python -m repro.experiments --figure fig13 fig14 --scale default --jobs 4
 
-Each figure prints the same table its benchmark prints, without the
-pytest-benchmark machinery, which is convenient for exploring parameters or
-plotting the rows with external tools.
+Scenario interface (the declarative engine)::
+
+    python -m repro.experiments list-scenarios
+    python -m repro.experiments run-scenario fig02-smoke --scale smoke --jobs 4
+    python -m repro.experiments run-scenario examples/scenarios/fig02_smoke.json \\
+        --store results.sqlite
+
+``run-scenario`` persists completed runs in a SQLite result store keyed by
+run-spec hash, so re-invoking the same sweep skips everything already done;
+pass ``--no-resume`` to force re-execution or ``--no-store`` to skip
+persistence entirely.  ``--jobs N`` fans runs out over N worker processes.
 """
 
 from __future__ import annotations
 
 import argparse
+import inspect
 import sys
-from typing import Callable, Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from repro.engine import SweepRunner
 from repro.experiments import figures_adaptive, figures_joins, figures_substrate
 from repro.experiments.harness import SCALES, ExperimentScale
-from repro.experiments.report import format_table
+from repro.experiments.report import format_table, sweep_summary, sweep_to_rows
+from repro.experiments.scenarios import available_scenarios, resolve_scenario
 
 #: Registry mapping a short figure id to (description, callable).
 FIGURES: Dict[str, tuple] = {
@@ -54,15 +65,39 @@ def available_figures() -> List[str]:
     return sorted(FIGURES)
 
 
-def run_figure(name: str, scale: ExperimentScale) -> List[dict]:
-    """Run one figure's experiment and return its rows."""
+def run_figure(name: str, scale: ExperimentScale,
+               runner: Optional[SweepRunner] = None) -> List[dict]:
+    """Run one figure's experiment and return its rows.
+
+    Sweep-based figures accept an engine runner (parallel execution and
+    result-store reuse); the rest ignore it.
+    """
     try:
         _, function = FIGURES[name]
     except KeyError:
         raise KeyError(
             f"unknown figure {name!r}; expected one of {available_figures()}"
         ) from None
-    return function(scale=scale)
+    kwargs = {"scale": scale}
+    if runner is not None and "runner" in inspect.signature(function).parameters:
+        kwargs["runner"] = runner
+    return function(**kwargs)
+
+
+def _add_engine_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for sweep execution (default: 1, serial)")
+    parser.add_argument("--store", default="results.sqlite", metavar="PATH",
+                        help="SQLite result store (default: %(default)s)")
+    parser.add_argument("--no-store", action="store_true",
+                        help="do not persist results")
+    parser.add_argument("--no-resume", action="store_true",
+                        help="re-execute runs even if the store already has them")
+
+
+def _make_runner(args: argparse.Namespace) -> SweepRunner:
+    store = None if args.no_store else args.store
+    return SweepRunner(jobs=args.jobs, store=store, resume=not args.no_resume)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -70,6 +105,8 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.experiments",
         description="Regenerate figures of 'Dynamic Join Optimization in "
                     "Multi-Hop Wireless Sensor Networks'.",
+        epilog="Scenario subcommands: run-scenario, list-scenarios "
+               "(see 'run-scenario --help').",
     )
     parser.add_argument("--figure", "-f", nargs="+", default=[],
                         help="figure id(s) to regenerate, e.g. fig02 fig13")
@@ -77,10 +114,78 @@ def build_parser() -> argparse.ArgumentParser:
                         help="experiment scale preset (default: %(default)s)")
     parser.add_argument("--list", "-l", action="store_true",
                         help="list available figure ids and exit")
+    parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
+                        help="worker processes for sweep-based figures (default: 1)")
     return parser
 
 
+def build_run_scenario_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments run-scenario",
+        description="Expand a declarative scenario into runs, execute them "
+                    "(optionally in parallel), and print the aggregates.",
+    )
+    parser.add_argument("scenario", nargs="+",
+                        help="built-in scenario name or path to a .json/.toml file")
+    parser.add_argument("--scale", "-s", choices=sorted(SCALES), default="default",
+                        help="experiment scale preset (default: %(default)s)")
+    _add_engine_options(parser)
+    return parser
+
+
+def build_list_scenarios_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments list-scenarios",
+        description="List built-in scenarios and scenario files.",
+    )
+    parser.add_argument("--scenario-dir", default=None, metavar="DIR",
+                        help="directory scanned for scenario files "
+                             "(default: examples/scenarios)")
+    return parser
+
+
+def _cmd_run_scenario(argv: Sequence[str]) -> int:
+    args = build_run_scenario_parser().parse_args(argv)
+    scale = SCALES[args.scale]
+    runner = _make_runner(args)
+    exit_code = 0
+    for name in args.scenario:
+        try:
+            scenario = resolve_scenario(name)
+        except (KeyError, ValueError) as error:
+            print(error, file=sys.stderr)
+            exit_code = 2
+            continue
+        sweep = runner.run(scenario, scale)
+        print(format_table(
+            sweep_to_rows(sweep),
+            title=f"{scenario.name} ({scale.name} scale)",
+        ))
+        print(sweep_summary(sweep))
+        print()
+    return exit_code
+
+
+def _cmd_list_scenarios(argv: Sequence[str]) -> int:
+    args = build_list_scenarios_parser().parse_args(argv)
+    rows = [
+        {"scenario": name, "origin": origin}
+        for name, origin in available_scenarios(args.scenario_dir)
+    ]
+    print(format_table(rows, title="Available scenarios"))
+    return 0
+
+
+SUBCOMMANDS = {
+    "run-scenario": _cmd_run_scenario,
+    "list-scenarios": _cmd_list_scenarios,
+}
+
+
 def main(argv: Sequence[str] = None) -> int:
+    argv = list(sys.argv[1:]) if argv is None else list(argv)
+    if argv and argv[0] in SUBCOMMANDS:
+        return SUBCOMMANDS[argv[0]](argv[1:])
     parser = build_parser()
     args = parser.parse_args(argv)
     if args.list or not args.figure:
@@ -91,10 +196,11 @@ def main(argv: Sequence[str] = None) -> int:
         print(format_table(rows, title="Available figures"))
         return 0
     scale = SCALES[args.scale]
+    runner = SweepRunner(jobs=args.jobs) if args.jobs > 1 else None
     exit_code = 0
     for name in args.figure:
         try:
-            rows = run_figure(name, scale)
+            rows = run_figure(name, scale, runner=runner)
         except KeyError as error:
             print(error, file=sys.stderr)
             exit_code = 2

@@ -10,7 +10,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.adaptive import AdaptivePolicy
 from repro.core.cost_model import Selectivities
-from repro.experiments.harness import (
+from repro.engine import (
     ExperimentScale,
     build_topology,
     build_workload,

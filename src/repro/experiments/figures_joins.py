@@ -16,12 +16,13 @@ from repro.core.centralized import (
 )
 from repro.core.cost_model import Selectivities
 from repro.core.placement import place_join_node
-from repro.experiments.harness import (
+from repro.engine import (
     FIGURE2_ALGORITHMS,
     ExperimentScale,
+    ScenarioSpec,
+    SweepRunner,
     build_topology,
     build_workload,
-    run_comparison,
     run_single,
     scale_from_env,
 )
@@ -50,58 +51,77 @@ def _selectivities(label: str, sigma_st: float) -> Selectivities:
 # Figures 2 and 3: total traffic and base-station load for Queries 1 and 2
 # ---------------------------------------------------------------------------
 
+def query_traffic_scenario(
+    query: str,
+    name: str,
+    ratios: Optional[Sequence[str]] = None,
+    join_selectivities: Optional[Sequence[float]] = None,
+    algorithms: Sequence[str] = tuple(FIGURE2_ALGORITHMS),
+    accounting: str = "bytes",
+) -> ScenarioSpec:
+    """The declarative Figure 2/3 (or 19/20) sweep: ratio x sigma_st grid."""
+    ratios = _default_ratios(ratios)
+    sweep = list(join_selectivities or JOIN_SELECTIVITIES)
+    return ScenarioSpec(
+        name=name,
+        description=f"{query} traffic/base-load sweep over producer ratios "
+                    "and join selectivities",
+        query=query,
+        algorithms=tuple(algorithms),
+        data={"ratio": ratios[0], "sigma_st": sweep[0]},
+        grid={"ratio": ratios, "sigma_st": sweep},
+        accounting=accounting,
+    )
+
+
 def _query_traffic_figure(
-    query_builder,
+    query: str,
     scale: Optional[ExperimentScale],
     ratios: Optional[Sequence[str]],
     join_selectivities: Optional[Sequence[float]],
     algorithms: Sequence[str] = tuple(FIGURE2_ALGORITHMS),
-    accounting=None,
+    accounting: str = "bytes",
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, object]]:
-    from repro.network.traffic import TrafficAccounting
-
     scale = scale or scale_from_env()
-    ratios = _default_ratios(ratios)
-    sweep = list(join_selectivities or JOIN_SELECTIVITIES)
-    accounting = accounting or TrafficAccounting.BYTES
+    scenario = query_traffic_scenario(
+        query, f"traffic/{query}", ratios, join_selectivities,
+        algorithms=algorithms, accounting=accounting,
+    )
+    sweep = (runner or SweepRunner()).run(scenario, scale)
     rows: List[Dict[str, object]] = []
-    for ratio in ratios:
-        for sigma_st in sweep:
-            selectivities = _selectivities(ratio, sigma_st)
-            results = run_comparison(
-                query_builder,
-                algorithms=algorithms,
-                data_selectivities=selectivities,
-                scale=scale,
-                accounting=accounting,
-            )
-            for algorithm, aggregate in results.items():
-                rows.append({
-                    "ratio": ratio,
-                    "sigma_st": sigma_st,
-                    "algorithm": algorithm,
-                    "total_traffic_kb": aggregate.mean("total_traffic") / 1000.0,
-                    "base_traffic_kb": aggregate.mean("base_traffic") / 1000.0,
-                    "max_node_load_kb": aggregate.mean("max_node_load") / 1000.0,
-                    "total_ci95_kb": aggregate.confidence_95("total_traffic") / 1000.0,
-                })
+    for group in sweep.groups:
+        for algorithm, aggregate in group.aggregates.items():
+            rows.append({
+                "ratio": group.setting["ratio"],
+                "sigma_st": group.setting["sigma_st"],
+                "algorithm": algorithm,
+                "total_traffic_kb": aggregate.mean("total_traffic") / 1000.0,
+                "base_traffic_kb": aggregate.mean("base_traffic") / 1000.0,
+                "max_node_load_kb": aggregate.mean("max_node_load") / 1000.0,
+                "total_ci95_kb": aggregate.confidence_95("total_traffic") / 1000.0,
+            })
     return rows
 
 
 def fig02_query1_traffic(scale: Optional[ExperimentScale] = None,
                          ratios: Optional[Sequence[str]] = None,
                          join_selectivities: Optional[Sequence[float]] = None,
+                         runner: Optional[SweepRunner] = None,
                          ) -> List[Dict[str, object]]:
     """Figure 2: Query 1 (w=3), total traffic and load at the base station."""
-    return _query_traffic_figure(build_query1, scale, ratios, join_selectivities)
+    return _query_traffic_figure("query1", scale, ratios, join_selectivities,
+                                 runner=runner)
 
 
 def fig03_query2_traffic(scale: Optional[ExperimentScale] = None,
                          ratios: Optional[Sequence[str]] = None,
                          join_selectivities: Optional[Sequence[float]] = None,
+                         runner: Optional[SweepRunner] = None,
                          ) -> List[Dict[str, object]]:
     """Figure 3: Query 2 (w=1), total traffic and load at the base station."""
-    return _query_traffic_figure(build_query2, scale, ratios, join_selectivities)
+    return _query_traffic_figure("query2", scale, ratios, join_selectivities,
+                                 runner=runner)
 
 
 # ---------------------------------------------------------------------------
@@ -353,25 +373,38 @@ def fig09a_method_vs_duration(scale: Optional[ExperimentScale] = None,
     return rows
 
 
+def fig09b_scenario(join_selectivities: Optional[Sequence[float]] = None,
+                    cycles: Optional[int] = None) -> ScenarioSpec:
+    """The declarative Figure 9b sweep (cycles=None resolves to the scale's
+    long_cycles -- this is the paper's long-duration experiment)."""
+    sweep = list(join_selectivities or JOIN_SELECTIVITIES)
+    return ScenarioSpec(
+        name="fig09b",
+        description="MPO variants at long duration vs join selectivity (Query 2)",
+        query="query2",
+        algorithms=("innet", "innet-cm", "innet-cmg", "innet-cmpg"),
+        data={"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": sweep[0]},
+        grid={"sigma_st": sweep},
+        cycles=cycles,
+        use_long_cycles=True,
+    )
+
+
 def fig09b_mpo_vs_join_selectivity(scale: Optional[ExperimentScale] = None,
                                    join_selectivities: Optional[Sequence[float]] = None,
                                    cycles: Optional[int] = None,
+                                   runner: Optional[SweepRunner] = None,
                                    ) -> List[Dict[str, object]]:
     """Figure 9b: Innet / -cm / -cmg / -cmpg at long duration vs sigma_st."""
     scale = scale or scale_from_env()
-    sweep = list(join_selectivities or JOIN_SELECTIVITIES)
-    algorithms = ["innet", "innet-cm", "innet-cmg", "innet-cmpg"]
+    scenario = fig09b_scenario(join_selectivities,
+                               cycles=cycles or scale.long_cycles)
+    sweep = (runner or SweepRunner()).run(scenario, scale)
     rows: List[Dict[str, object]] = []
-    for sigma_st in sweep:
-        selectivities = Selectivities(0.5, 0.5, sigma_st)
-        results = run_comparison(
-            build_query2, algorithms=algorithms,
-            data_selectivities=selectivities, scale=scale,
-            cycles=cycles or scale.long_cycles,
-        )
-        for algorithm, aggregate in results.items():
+    for group in sweep.groups:
+        for algorithm, aggregate in group.aggregates.items():
             rows.append({
-                "sigma_st": sigma_st,
+                "sigma_st": group.setting["sigma_st"],
                 "algorithm": algorithm,
                 "total_traffic_kb": aggregate.mean("total_traffic") / 1000.0,
             })

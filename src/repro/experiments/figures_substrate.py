@@ -18,25 +18,25 @@ from repro.core.cost_model import (
     naive_cost,
     through_base_cost,
 )
-from repro.experiments.harness import (
+from repro.engine import (
     MESH_ALGORITHMS,
     ExperimentScale,
+    ScenarioSpec,
+    SweepRunner,
     build_topology,
     build_workload,
-    run_comparison,
     run_single,
     scale_from_env,
 )
+from repro.experiments.figures_joins import query_traffic_scenario
 from repro.network.message import MessageSizes
 from repro.network.topology import all_standard_topologies, topology_from_preset
-from repro.network.traffic import TrafficAccounting
 from repro.query.analysis import analyze_query
 from repro.routing import DHTSubstrate, GHTSubstrate, MultiTreeSubstrate
 from repro.routing.paths import path_quality_for_pairs
 from repro.routing.tree import RoutingTree
 from repro.workloads import assign_table1_attributes
-from repro.workloads.queries import build_query1, build_query2
-from repro.workloads.selectivity import JOIN_SELECTIVITIES, RATIO_LADDER
+from repro.workloads.queries import build_query1
 
 
 def _random_pairs(topology, count: int, seed: int = 0):
@@ -140,46 +140,50 @@ def fig18_mesh_scaleup(scale: Optional[ExperimentScale] = None,
 # Figures 19-20: mesh-network versions of the Query 1 / Query 2 comparison
 # ---------------------------------------------------------------------------
 
-def _mesh_query_rows(query_builder, scale, ratios, join_selectivities):
+def mesh_query_scenario(query: str, name: str,
+                        ratios: Optional[Sequence[str]] = None,
+                        join_selectivities: Optional[Sequence[float]] = None,
+                        ) -> ScenarioSpec:
+    """The declarative Figure 19/20 sweep: message accounting, mesh algorithms."""
+    return query_traffic_scenario(
+        query, name, ratios, join_selectivities,
+        algorithms=tuple(MESH_ALGORITHMS), accounting="messages",
+    )
+
+
+def _mesh_query_rows(query, scale, ratios, join_selectivities, runner=None):
     scale = scale or scale_from_env()
-    ratios = ratios or [label for label, _ in RATIO_LADDER]
-    sweep = list(join_selectivities or JOIN_SELECTIVITIES)
+    scenario = mesh_query_scenario(query, f"mesh/{query}", ratios, join_selectivities)
+    sweep = (runner or SweepRunner()).run(scenario, scale)
     rows: List[Dict[str, object]] = []
-    for ratio in ratios:
-        sigma_s, sigma_t = dict(RATIO_LADDER)[ratio]
-        for sigma_st in sweep:
-            selectivities = Selectivities(sigma_s, sigma_t, sigma_st)
-            results = run_comparison(
-                query_builder, algorithms=MESH_ALGORITHMS,
-                data_selectivities=selectivities, scale=scale,
-                accounting=TrafficAccounting.MESSAGES,
-                strategy_kwargs={"innet-cmg": {}},
-            )
-            for algorithm, aggregate in results.items():
-                rows.append({
-                    "ratio": ratio,
-                    "sigma_st": sigma_st,
-                    "algorithm": algorithm,
-                    "total_messages_k": aggregate.mean("total_traffic") / 1000.0,
-                    "base_messages_k": aggregate.mean("base_traffic") / 1000.0,
-                })
+    for group in sweep.groups:
+        for algorithm, aggregate in group.aggregates.items():
+            rows.append({
+                "ratio": group.setting["ratio"],
+                "sigma_st": group.setting["sigma_st"],
+                "algorithm": algorithm,
+                "total_messages_k": aggregate.mean("total_traffic") / 1000.0,
+                "base_messages_k": aggregate.mean("base_traffic") / 1000.0,
+            })
     return rows
 
 
 def fig19_mesh_query1(scale: Optional[ExperimentScale] = None,
                       ratios: Optional[Sequence[str]] = None,
                       join_selectivities: Optional[Sequence[float]] = None,
+                      runner: Optional[SweepRunner] = None,
                       ) -> List[Dict[str, object]]:
     """Figure 19: Query 1 on a 100-node mesh network, counted in messages."""
-    return _mesh_query_rows(build_query1, scale, ratios, join_selectivities)
+    return _mesh_query_rows("query1", scale, ratios, join_selectivities, runner)
 
 
 def fig20_mesh_query2(scale: Optional[ExperimentScale] = None,
                       ratios: Optional[Sequence[str]] = None,
                       join_selectivities: Optional[Sequence[float]] = None,
+                      runner: Optional[SweepRunner] = None,
                       ) -> List[Dict[str, object]]:
     """Figure 20: Query 2 on a 100-node mesh network, counted in messages."""
-    return _mesh_query_rows(build_query2, scale, ratios, join_selectivities)
+    return _mesh_query_rows("query2", scale, ratios, join_selectivities, runner)
 
 
 # ---------------------------------------------------------------------------

@@ -1,13 +1,28 @@
-"""Shared experiment infrastructure.
+"""Shared experiment infrastructure (compatibility layer over ``repro.engine``).
 
 Every figure-reproduction function follows the same recipe: build a topology
 and Table 1 attributes, build a query from Table 2, build a data source
 realizing the requested selectivities, run one or more join strategies for a
 number of sampling cycles across several seeded runs, and aggregate the
 traffic metrics with 95 % confidence intervals (the paper averages across 9
-runs).  This module provides those building blocks plus a scale knob so the
-same experiments can run as quick benchmarks (``smoke``), at a sensible
-default, or at the paper's full scale (``paper``).
+runs).
+
+That recipe now lives in :mod:`repro.engine`:
+
+* scenarios are declarative :class:`~repro.engine.spec.ScenarioSpec` data
+  (expandable parameter grids, JSON/TOML round-tripping),
+* runs are frozen :class:`~repro.engine.spec.RunSpec` units scheduled by a
+  :class:`~repro.engine.runner.SweepRunner` (serial reference executor or a
+  ``multiprocessing`` pool with worker-local bounded caches),
+* completed runs persist in a SQLite/WAL
+  :class:`~repro.engine.store.ResultStore` keyed by spec hash, so paper-scale
+  sweeps are resumable.
+
+This module re-exports the engine's building blocks under their historical
+names -- ``build_topology``, ``build_workload``, ``run_single``,
+``make_strategy`` -- and keeps :func:`run_comparison` as a thin wrapper that
+builds a one-off scenario and runs it through the engine.  New code should
+prefer ``repro.engine`` directly.
 
 Performance
 -----------
@@ -31,11 +46,15 @@ without changing any result:
   per hop instead of one per attempt -- statistically equivalent).  Pass
   ``fast_transport=False`` to the simulator to force the per-hop reference
   path.
-* **Shared workload state.**  ``build_topology`` memoizes generated
-  deployments (treat them as read-only; ``run_single`` copies only when a
-  failure injector will mutate the topology), and per-cycle producer samples
-  are memoized on the data source and shared by every strategy run against
-  it -- data sources are pure functions of (seed, node, cycle).
+* **Shared workload state.**  Topologies, queries and data sources are
+  memoized in the bounded worker-local caches of
+  :mod:`repro.engine.workload` (treat the shared instances as read-only;
+  ``run_single`` copies only when a failure injector will mutate the
+  topology), and per-cycle producer samples are memoized on the data source
+  and shared by every strategy run against it -- data sources are pure
+  functions of (seed, node, cycle).  Call
+  :func:`~repro.engine.workload.reset_workload_caches` between scenarios in
+  long-lived processes.
 
 The ``REPRO_SCALE`` environment variable selects the scale preset (``smoke``,
 ``default`` or ``paper``); with this layer the ``paper`` sweep (9 runs x
@@ -44,287 +63,109 @@ The ``REPRO_SCALE`` environment variable selects the scale preset (``smoke``,
 
 from __future__ import annotations
 
-import math
-import os
-from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, Optional, Sequence, Union
 
-from repro.core.adaptive import AdaptivePolicy
 from repro.core.cost_model import Selectivities
-from repro.joins import (
-    BaseJoin,
-    GHTJoin,
-    InnetJoin,
-    InnetVariant,
-    JoinExecutor,
-    NaiveJoin,
-    ThroughBaseJoin,
+from repro.engine.execution import run_single
+from repro.engine.registry import (
+    FIGURE2_ALGORITHMS,
+    MESH_ALGORITHMS,
+    STRATEGIES,
+    available_algorithms,
+    make_strategy,
+    register_strategy,
+    resolve_query_name,
 )
-from repro.joins.base import ExecutionReport, JoinStrategy
-from repro.network.failures import FailureInjector
-from repro.network.topology import Topology, topology_from_preset
+from repro.engine.results import _T_975, AggregateResult, RunResult
+from repro.engine.runner import SweepRunner
+from repro.engine.spec import (
+    SCALES,
+    ExperimentScale,
+    ScenarioSpec,
+    scale_from_env,
+)
+from repro.engine.store import ResultStore
+from repro.engine.workload import (
+    _TOPOLOGY_CACHE,
+    build_topology,
+    build_workload,
+    reset_workload_caches,
+)
 from repro.network.traffic import TrafficAccounting
-from repro.query.analysis import analyze_query
 from repro.query.query import JoinQuery
-from repro.workloads import (
-    SyntheticDataSource,
-    assign_table1_attributes,
-    build_send_probability_map,
-)
 
-# Student-t 97.5 % quantiles for small sample sizes (index = degrees of freedom).
-_T_975 = {1: 12.706, 2: 4.303, 3: 3.182, 4: 2.776, 5: 2.571, 6: 2.447,
-          7: 2.365, 8: 2.306, 9: 2.262, 10: 2.228}
+#: Historical alias: the strategy factory now lives in the engine's registry
+#: (register new algorithms via ``repro.engine.register_strategy``).
+_STRATEGY_BUILDERS = STRATEGIES.builders
 
-
-# ---------------------------------------------------------------------------
-# scale presets
-# ---------------------------------------------------------------------------
-
-@dataclass(frozen=True)
-class ExperimentScale:
-    """How big an experiment run should be.
-
-    ``paper`` matches the evaluation section (9 runs, 100-800 cycles,
-    100 nodes); ``default`` keeps the same structure at a laptop-friendly
-    size; ``smoke`` is for unit tests of the harness itself.
-    """
-
-    name: str
-    runs: int
-    cycles: int
-    num_nodes: int
-    long_cycles: int
-
-    def scaled_cycles(self, requested: Optional[int] = None) -> int:
-        return requested if requested is not None else self.cycles
+__all__ = [
+    "AggregateResult",
+    "ExperimentScale",
+    "FIGURE2_ALGORITHMS",
+    "MESH_ALGORITHMS",
+    "RunResult",
+    "SCALES",
+    "available_algorithms",
+    "build_topology",
+    "build_workload",
+    "comparison_scenario",
+    "make_strategy",
+    "register_strategy",
+    "reset_workload_caches",
+    "run_comparison",
+    "run_single",
+    "scale_from_env",
+]
 
 
-SCALES: Dict[str, ExperimentScale] = {
-    "smoke": ExperimentScale(name="smoke", runs=1, cycles=10, num_nodes=60, long_cycles=30),
-    "default": ExperimentScale(name="default", runs=2, cycles=40, num_nodes=100, long_cycles=120),
-    "paper": ExperimentScale(name="paper", runs=9, cycles=100, num_nodes=100, long_cycles=800),
-}
+def _selectivity_dict(selectivities: Selectivities) -> Dict[str, float]:
+    return {
+        "sigma_s": selectivities.sigma_s,
+        "sigma_t": selectivities.sigma_t,
+        "sigma_st": selectivities.sigma_st,
+    }
 
 
-def scale_from_env(default: str = "default") -> ExperimentScale:
-    """Pick the scale from the ``REPRO_SCALE`` environment variable."""
-    name = os.environ.get("REPRO_SCALE", default).lower()
-    if name not in SCALES:
-        raise KeyError(f"unknown REPRO_SCALE {name!r}; expected one of {sorted(SCALES)}")
-    return SCALES[name]
-
-
-# ---------------------------------------------------------------------------
-# strategy factory
-# ---------------------------------------------------------------------------
-
-_STRATEGY_BUILDERS: Dict[str, Callable[..., JoinStrategy]] = {
-    "naive": lambda **kw: NaiveJoin(),
-    "base": lambda **kw: BaseJoin(),
-    "ght": lambda **kw: GHTJoin(),
-    "dht": lambda **kw: GHTJoin(use_dht=True),
-    "yang07": lambda **kw: ThroughBaseJoin(),
-    "innet": lambda **kw: InnetJoin(InnetVariant.basic(), **kw),
-    "innet-cm": lambda **kw: InnetJoin(InnetVariant.cm(), **kw),
-    "innet-cmg": lambda **kw: InnetJoin(InnetVariant.cmg(), **kw),
-    "innet-cmp": lambda **kw: InnetJoin(InnetVariant.cmp(), **kw),
-    "innet-cmpg": lambda **kw: InnetJoin(InnetVariant.cmpg(), **kw),
-    "innet-learn": lambda **kw: InnetJoin(InnetVariant.learn(), **kw),
-    "innet-basic-learn": lambda **kw: InnetJoin(
-        InnetVariant.learn(InnetVariant.basic()), **kw
-    ),
-}
-
-
-def available_algorithms() -> List[str]:
-    return sorted(_STRATEGY_BUILDERS)
-
-
-def make_strategy(name: str, **kwargs) -> JoinStrategy:
-    """Instantiate a join strategy by its figure label."""
-    try:
-        builder = _STRATEGY_BUILDERS[name]
-    except KeyError:
-        raise KeyError(
-            f"unknown algorithm {name!r}; expected one of {available_algorithms()}"
-        ) from None
-    return builder(**kwargs)
-
-
-#: The six algorithms shown in Figures 2 and 3.
-FIGURE2_ALGORITHMS = ["naive", "base", "ght", "innet", "innet-cmg", "innet-cmpg"]
-#: The four algorithms shown in the mesh-network Figures 19 and 20.
-MESH_ALGORITHMS = ["naive", "base", "dht", "innet-cmg"]
-
-
-# ---------------------------------------------------------------------------
-# workload construction
-# ---------------------------------------------------------------------------
-
-#: Memoized Table-1-attributed topologies, keyed (preset, seed, num_nodes).
-#: Generation (and warming the topology's PathCache) is by far the most
-#: expensive part of a figure sweep, and every figure rebuilds the same
-#: deployment, so the instances are shared.  They must be treated as
-#: read-only; run_single copies before any mutating experiment (failures).
-_TOPOLOGY_CACHE: Dict[Tuple[str, int, int], Topology] = {}
-
-
-def build_topology(scale: ExperimentScale, preset: str = "moderate",
-                   seed: int = 0, num_nodes: Optional[int] = None,
-                   fresh: bool = False) -> Topology:
-    """A Table-1-attributed topology of the requested density.
-
-    Returns a memoized shared instance (treat it as read-only) unless
-    ``fresh`` is set.  Topology generation and attribute assignment are
-    deterministic in (preset, seed, num_nodes), so sharing does not change
-    any experiment's results.
-    """
-    key = (preset, seed, num_nodes or scale.num_nodes)
-    if not fresh:
-        cached = _TOPOLOGY_CACHE.get(key)
-        if cached is not None:
-            return cached
-    topo = topology_from_preset(preset, num_nodes=key[2], seed=seed)
-    assign_table1_attributes(topo, seed=seed)
-    if not fresh:
-        _TOPOLOGY_CACHE[key] = topo
-    return topo
-
-
-def build_workload(
-    topology: Topology,
-    query: JoinQuery,
+def comparison_scenario(
+    query_builder: Union[str, Callable[[], JoinQuery]],
+    algorithms: Sequence[str],
     data_selectivities: Selectivities,
-    seed: int = 0,
-    per_node_send_probability: Optional[Dict[int, float]] = None,
-    per_node_u_range: Optional[Dict[int, int]] = None,
-    switch_cycle: Optional[int] = None,
-    switched_to: Optional[Selectivities] = None,
-) -> SyntheticDataSource:
-    """A data source whose realized selectivities match ``data_selectivities``."""
-    analysis = analyze_query(query)
-    eligible_s = [
-        n for n in topology.node_ids
-        if analysis.node_eligible("S", topology.nodes[n].static_attributes)
-    ]
-    eligible_t = [
-        n for n in topology.node_ids
-        if analysis.node_eligible("T", topology.nodes[n].static_attributes)
-    ]
-    send_map = build_send_probability_map(
-        eligible_s, eligible_t,
-        data_selectivities.sigma_s, data_selectivities.sigma_t,
-    )
-    if per_node_send_probability:
-        send_map.update(per_node_send_probability)
-    switched_source = None
-    if switch_cycle is not None and switched_to is not None:
-        switched_map = build_send_probability_map(
-            eligible_s, eligible_t, switched_to.sigma_s, switched_to.sigma_t
-        )
-        switched_source = SyntheticDataSource(
-            sigma_st=switched_to.sigma_st,
-            send_probability=0.0,
-            seed=seed + 1,
-            per_node_send_probability=switched_map,
-        )
-    return SyntheticDataSource(
-        sigma_st=data_selectivities.sigma_st,
-        send_probability=0.0,
-        seed=seed,
-        per_node_send_probability=send_map,
-        per_node_u_range=per_node_u_range or {},
-        switch_cycle=switch_cycle,
-        switched=switched_source,
-    )
-
-
-# ---------------------------------------------------------------------------
-# running and aggregating
-# ---------------------------------------------------------------------------
-
-@dataclass
-class RunResult:
-    """One seeded run of one algorithm."""
-
-    algorithm: str
-    seed: int
-    report: ExecutionReport
-
-    def metric(self, name: str) -> float:
-        return float(self.report.as_dict()[name])
-
-
-@dataclass
-class AggregateResult:
-    """Mean and 95 % confidence interval across seeded runs."""
-
-    algorithm: str
-    runs: List[RunResult] = field(default_factory=list)
-
-    def mean(self, metric: str) -> float:
-        values = [run.metric(metric) for run in self.runs]
-        return sum(values) / len(values) if values else 0.0
-
-    def confidence_95(self, metric: str) -> float:
-        values = [run.metric(metric) for run in self.runs]
-        n = len(values)
-        if n < 2:
-            return 0.0
-        mean = sum(values) / n
-        variance = sum((v - mean) ** 2 for v in values) / (n - 1)
-        t_value = _T_975.get(n - 1, 1.96)
-        return t_value * math.sqrt(variance / n)
-
-    def summary(self, metrics: Sequence[str] = ("total_traffic", "base_traffic")) -> Dict[str, float]:
-        out: Dict[str, float] = {"algorithm_runs": float(len(self.runs))}
-        for metric in metrics:
-            out[metric] = self.mean(metric)
-            out[f"{metric}_ci95"] = self.confidence_95(metric)
-        return out
-
-
-def run_single(
-    query: JoinQuery,
-    topology: Topology,
-    data_source,
-    algorithm: str,
-    assumed_selectivities,
-    cycles: int,
-    seed: int = 0,
+    assumed_selectivities: Optional[Selectivities] = None,
+    cycles: Optional[int] = None,
+    topology_preset: str = "moderate",
+    topology_seed: int = 0,
+    num_nodes: Optional[int] = None,
     accounting: TrafficAccounting = TrafficAccounting.BYTES,
-    failure_injector: Optional[FailureInjector] = None,
     queue_capacity: Optional[int] = None,
-    strategy_kwargs: Optional[Dict] = None,
-    copy_topology: Optional[bool] = None,
-) -> RunResult:
-    """One run of one algorithm.
-
-    The topology (and its warmed PathCache) is shared across seeded runs:
-    a copy is only taken when the run will mutate it, i.e. when a failure
-    injector is present (``copy_topology`` overrides the auto-detection).
-    """
-    if copy_topology is None:
-        copy_topology = failure_injector is not None and not failure_injector.is_empty()
-    strategy = make_strategy(algorithm, **(strategy_kwargs or {}))
-    executor = JoinExecutor(
-        query=query,
-        topology=topology.copy() if copy_topology else topology,
-        data_source=data_source,
-        strategy=strategy,
-        assumed_selectivities=assumed_selectivities,
-        accounting=accounting,
-        failure_injector=failure_injector,
-        queue_capacity=queue_capacity,
-        seed=seed,
+    strategy_kwargs: Optional[Dict[str, Dict]] = None,
+    name: Optional[str] = None,
+) -> ScenarioSpec:
+    """The declarative scenario equivalent of a :func:`run_comparison` call."""
+    query = (
+        query_builder if isinstance(query_builder, str)
+        else resolve_query_name(query_builder)
     )
-    report = executor.run(cycles)
-    return RunResult(algorithm=algorithm, seed=seed, report=report)
+    return ScenarioSpec(
+        name=name or f"comparison/{query}",
+        query=query,
+        algorithms=tuple(algorithms),
+        data=_selectivity_dict(data_selectivities),
+        assumed=(
+            _selectivity_dict(assumed_selectivities)
+            if assumed_selectivities is not None else None
+        ),
+        cycles=cycles,
+        topology_preset=topology_preset,
+        topology_seed=topology_seed,
+        num_nodes=num_nodes,
+        accounting=accounting.value,
+        queue_capacity=queue_capacity,
+        strategy_kwargs=dict(strategy_kwargs or {}),
+    )
 
 
 def run_comparison(
-    query_builder: Callable[[], JoinQuery],
+    query_builder: Union[str, Callable[[], JoinQuery]],
     algorithms: Sequence[str],
     data_selectivities: Selectivities,
     assumed_selectivities: Optional[Selectivities] = None,
@@ -336,28 +177,29 @@ def run_comparison(
     accounting: TrafficAccounting = TrafficAccounting.BYTES,
     queue_capacity: Optional[int] = None,
     strategy_kwargs: Optional[Dict[str, Dict]] = None,
+    jobs: int = 1,
+    store: Optional[ResultStore] = None,
+    resume: bool = True,
 ) -> Dict[str, AggregateResult]:
-    """Run several algorithms on the same workload, averaged over seeded runs."""
+    """Run several algorithms on the same workload, averaged over seeded runs.
+
+    A thin wrapper over the engine: the arguments become a
+    :class:`~repro.engine.spec.ScenarioSpec` executed by a
+    :class:`~repro.engine.runner.SweepRunner`.  ``jobs``, ``store`` and
+    ``resume`` expose the engine's parallel executor and persistent result
+    store; the defaults reproduce the historical serial in-process behavior.
+    """
     scale = scale or scale_from_env()
-    cycles = scale.scaled_cycles(cycles)
-    assumed = assumed_selectivities or data_selectivities
-    results: Dict[str, AggregateResult] = {
-        name: AggregateResult(algorithm=name) for name in algorithms
-    }
-    topology = build_topology(scale, preset=topology_preset, seed=topology_seed,
-                              num_nodes=num_nodes)
-    query = query_builder()
-    for run_index in range(scale.runs):
-        data_source = build_workload(
-            topology, query, data_selectivities, seed=100 + run_index
-        )
-        for name in algorithms:
-            kwargs = (strategy_kwargs or {}).get(name)
-            result = run_single(
-                query, topology, data_source, name, assumed,
-                cycles=cycles, seed=run_index,
-                accounting=accounting, queue_capacity=queue_capacity,
-                strategy_kwargs=kwargs,
-            )
-            results[name].runs.append(result)
-    return results
+    scenario = comparison_scenario(
+        query_builder, algorithms, data_selectivities,
+        assumed_selectivities=assumed_selectivities,
+        cycles=scale.scaled_cycles(cycles),
+        topology_preset=topology_preset,
+        topology_seed=topology_seed,
+        num_nodes=num_nodes,
+        accounting=accounting,
+        queue_capacity=queue_capacity,
+        strategy_kwargs=strategy_kwargs,
+    )
+    runner = SweepRunner(jobs=jobs, store=store, resume=resume)
+    return runner.run(scenario, scale).only()

@@ -71,6 +71,26 @@ def results_to_rows(
     return rows
 
 
+def sweep_to_rows(
+    sweep: "SweepResult",
+    metrics: Optional[Sequence[str]] = None,
+    to_kb: bool = True,
+) -> List[Dict[str, object]]:
+    """Flatten an engine :class:`~repro.engine.runner.SweepResult` into table
+    rows: one per (grid point, algorithm), with means and CI95 columns for
+    the scenario's metrics."""
+    return sweep.rows(metrics=metrics, to_kb=to_kb)
+
+
+def sweep_summary(sweep: "SweepResult") -> str:
+    """A one-line provenance summary of a sweep (for CLI output)."""
+    return (
+        f"scenario {sweep.scenario.name!r} ({sweep.scale_name} scale): "
+        f"{sweep.total_runs} runs over {len(sweep.groups)} grid point(s); "
+        f"{sweep.executed} executed, {sweep.from_store} from the result store"
+    )
+
+
 def winner(results: Dict[str, "AggregateResult"], metric: str = "total_traffic") -> str:
     """The algorithm with the lowest mean value of *metric*."""
     return min(results, key=lambda name: results[name].mean(metric))

@@ -1,0 +1,81 @@
+"""Named built-in scenarios and scenario-file discovery.
+
+``python -m repro.experiments list-scenarios`` shows everything registered
+here plus any ``*.json`` / ``*.toml`` files in the scenario directory
+(``examples/scenarios`` by default); ``run-scenario`` accepts either a
+built-in name or a path to a scenario file.
+
+Built-ins are factories (zero-argument callables returning a
+:class:`~repro.engine.spec.ScenarioSpec`) so a scenario's run counts and
+cycle lengths stay scale-relative: the runner resolves them against the
+``--scale`` / ``REPRO_SCALE`` preset at expansion time.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from repro.engine import ScenarioSpec, load_scenario_file
+from repro.experiments.figures_joins import fig09b_scenario, query_traffic_scenario
+from repro.experiments.figures_substrate import mesh_query_scenario
+
+#: Default location of file-based scenarios, relative to the working tree.
+DEFAULT_SCENARIO_DIR = Path("examples/scenarios")
+
+_SMOKE_RATIOS = ["1/10:1", "1/2:1/2", "1:1/10"]
+_SMOKE_JOIN_SELECTIVITIES = [0.20, 0.05]
+
+BUILTIN_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
+    "fig02": lambda: query_traffic_scenario("query1", "fig02"),
+    "fig02-smoke": lambda: query_traffic_scenario(
+        "query1", "fig02-smoke", ratios=_SMOKE_RATIOS,
+        join_selectivities=_SMOKE_JOIN_SELECTIVITIES,
+    ),
+    "fig03": lambda: query_traffic_scenario("query2", "fig03"),
+    "fig09b": lambda: fig09b_scenario(),
+    "fig19": lambda: mesh_query_scenario("query1", "fig19"),
+    "fig20": lambda: mesh_query_scenario("query2", "fig20"),
+}
+
+
+def register_scenario(name: str, factory: Callable[[], ScenarioSpec]) -> None:
+    """Entry-point-style hook: make a scenario available to the CLI by name."""
+    BUILTIN_SCENARIOS[name] = factory
+
+
+def scenario_files(directory: Union[str, Path, None] = None) -> List[Path]:
+    directory = Path(directory) if directory is not None else DEFAULT_SCENARIO_DIR
+    if not directory.is_dir():
+        return []
+    return sorted(
+        path for path in directory.iterdir()
+        if path.suffix.lower() in (".json", ".toml")
+    )
+
+
+def available_scenarios(directory: Union[str, Path, None] = None
+                        ) -> List[Tuple[str, str]]:
+    """(name, origin) pairs of every runnable scenario."""
+    entries = [(name, "built-in") for name in sorted(BUILTIN_SCENARIOS)]
+    entries.extend((str(path), "file") for path in scenario_files(directory))
+    return entries
+
+
+def resolve_scenario(name_or_path: str,
+                     directory: Union[str, Path, None] = None) -> ScenarioSpec:
+    """A ScenarioSpec from a built-in name or a JSON/TOML file path."""
+    if name_or_path in BUILTIN_SCENARIOS:
+        return BUILTIN_SCENARIOS[name_or_path]()
+    path = Path(name_or_path)
+    if path.exists():
+        return load_scenario_file(path)
+    directory = Path(directory) if directory is not None else DEFAULT_SCENARIO_DIR
+    for suffix in (".json", ".toml"):
+        candidate = directory / f"{name_or_path}{suffix}"
+        if candidate.exists():
+            return load_scenario_file(candidate)
+    known = [name for name, _ in available_scenarios(directory)]
+    raise KeyError(
+        f"unknown scenario {name_or_path!r}; expected a file path or one of {known}"
+    )

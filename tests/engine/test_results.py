@@ -1,0 +1,30 @@
+"""Tests for RunResult / AggregateResult metric access."""
+
+import pytest
+
+from repro.engine import SCALES, ScenarioSpec, execute_run
+
+SMOKE = SCALES["smoke"]
+
+
+@pytest.fixture(scope="module")
+def run_result():
+    scenario = ScenarioSpec(
+        name="results-test", query="query1", algorithms=("naive",),
+        data={"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": 0.2}, cycles=3,
+    )
+    return execute_run(scenario.expand(SMOKE)[0])
+
+
+class TestMetricAccess:
+    def test_known_metric(self, run_result):
+        assert run_result.metric("total_traffic") == run_result.report.total_traffic
+
+    def test_unknown_metric_lists_available_fields(self, run_result):
+        with pytest.raises(KeyError) as excinfo:
+            run_result.metric("total_trafic")
+        message = str(excinfo.value)
+        assert "unknown metric 'total_trafic'" in message
+        # the helpful part: every available report field is listed
+        assert "total_traffic" in message
+        assert "base_traffic" in message

@@ -1,0 +1,61 @@
+"""Tests for the SQLite result store."""
+
+from repro.engine import SCALES, ResultStore, ScenarioSpec, execute_run
+from repro.engine.store import report_from_dict, report_to_dict
+
+SMOKE = SCALES["smoke"]
+
+
+def _one_spec():
+    scenario = ScenarioSpec(
+        name="store-test", query="query1", algorithms=("naive",),
+        data={"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": 0.2}, cycles=3,
+    )
+    return scenario.expand(SMOKE)[0]
+
+
+class TestResultStore:
+    def test_wal_mode(self, tmp_path):
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            assert store.journal_mode() == "wal"
+
+    def test_put_get_round_trip(self, tmp_path):
+        spec = _one_spec()
+        report = execute_run(spec).report
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            key = store.put(spec, report)
+            assert key == spec.run_key()
+            assert key in store
+            loaded = store.get(key)
+        assert loaded == report
+        assert loaded.top_loaded_nodes == report.top_loaded_nodes
+
+    def test_completed_filters_known_keys(self, tmp_path):
+        spec = _one_spec()
+        report = execute_run(spec).report
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            store.put(spec, report)
+            assert store.completed([spec.run_key(), "missing"]) == {spec.run_key()}
+            assert store.get("missing") is None
+
+    def test_scenario_bookkeeping(self, tmp_path):
+        spec = _one_spec()
+        report = execute_run(spec).report
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            store.put(spec, report)
+            assert store.scenarios() == ["store-test"]
+            assert store.scenario_run_count("store-test") == 1
+            assert store.scenario_run_count("other") == 0
+
+    def test_persists_across_connections(self, tmp_path):
+        path = tmp_path / "results.sqlite"
+        spec = _one_spec()
+        report = execute_run(spec).report
+        with ResultStore(path) as store:
+            store.put(spec, report)
+        with ResultStore(path) as store:
+            assert store.get(spec.run_key()) == report
+
+    def test_report_dict_round_trip(self):
+        report = execute_run(_one_spec()).report
+        assert report_from_dict(report_to_dict(report)) == report

@@ -51,3 +51,41 @@ class TestCli:
         args = build_parser().parse_args([])
         assert args.scale == "default"
         assert args.figure == []
+
+
+class TestScenarioCommands:
+    def test_list_scenarios(self, capsys):
+        assert main(["list-scenarios"]) == 0
+        out = capsys.readouterr().out
+        assert "fig02-smoke" in out
+        assert "built-in" in out
+
+    def test_run_scenario_builtin(self, capsys, tmp_path, monkeypatch):
+        store = tmp_path / "results.sqlite"
+        assert main(["run-scenario", "fig02-smoke", "--scale", "smoke",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "fig02-smoke" in out
+        assert "36 executed" in out
+        assert store.exists()
+        # second invocation resumes from the store: zero runs execute
+        assert main(["run-scenario", "fig02-smoke", "--scale", "smoke",
+                     "--store", str(store)]) == 0
+        assert "0 executed, 36 from the result store" in capsys.readouterr().out
+
+    def test_run_scenario_from_file(self, capsys, tmp_path):
+        from repro.experiments.scenarios import BUILTIN_SCENARIOS
+
+        path = tmp_path / "custom.json"
+        scenario = BUILTIN_SCENARIOS["fig02-smoke"]().with_overrides(
+            name="custom", algorithms=("naive",), grid={},
+        )
+        path.write_text(scenario.to_json())
+        assert main(["run-scenario", str(path), "--scale", "smoke",
+                     "--no-store"]) == 0
+        assert "custom" in capsys.readouterr().out
+
+    def test_run_scenario_unknown(self, capsys):
+        assert main(["run-scenario", "fig99", "--scale", "smoke",
+                     "--no-store"]) == 2
+        assert "unknown scenario" in capsys.readouterr().err

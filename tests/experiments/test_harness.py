@@ -92,6 +92,27 @@ class TestRunners:
         summary = results["naive"].summary()
         assert "total_traffic" in summary
 
+    def test_run_comparison_with_adhoc_builder(self):
+        # Unregistered callables still work (engine falls back to a
+        # process-local inline registration and serial execution).
+        selectivities = Selectivities(0.5, 0.5, 0.2)
+        results = run_comparison(
+            lambda: build_query1(window_size=1), algorithms=["naive"],
+            data_selectivities=selectivities, scale=SMOKE,
+        )
+        assert results["naive"].mean("total_traffic") > 0
+
+    def test_run_comparison_parallel_matches_serial(self):
+        selectivities = Selectivities(0.5, 0.5, 0.2)
+        kwargs = dict(
+            query_builder=build_query1, algorithms=["naive", "base"],
+            data_selectivities=selectivities, scale=SMOKE,
+        )
+        serial = run_comparison(**kwargs)
+        parallel = run_comparison(jobs=2, **kwargs)
+        for name in serial:
+            assert serial[name].mean("total_traffic") == parallel[name].mean("total_traffic")
+
     def test_confidence_interval_with_multiple_runs(self):
         selectivities = Selectivities(0.5, 0.5, 0.2)
         two_run_scale = SCALES["smoke"].__class__(
