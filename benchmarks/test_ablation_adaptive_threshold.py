@@ -4,43 +4,25 @@ Section 6 fixes the divergence threshold at 33 % as "a good compromise between
 maintaining near-optimal execution and low adaptivity overhead".  This
 ablation sweeps the threshold under wrong initial estimates: a hair-trigger
 threshold re-optimizes constantly (overhead), a very lax one barely adapts
-(stays close to the unlearned plan).
+(stays close to the unlearned plan).  The sweep runs through the scenario
+engine (the ``ablation-threshold`` built-in scenario).
 """
 
 from benchmarks.conftest import run_once
-from repro.core import Selectivities
-from repro.core.adaptive import AdaptivePolicy
-from repro.experiments.harness import build_topology, build_workload, run_single
-from repro.workloads.queries import build_query1
-
-ACTUAL = Selectivities(0.1, 1.0, 0.05)
-ASSUMED = Selectivities(1.0, 0.1, 0.05)
+from repro.engine import SweepRunner
+from repro.experiments.scenarios import resolve_scenario
 
 
 def _ablation(scale):
-    topology = build_topology(scale, preset="moderate", seed=0)
-    query = build_query1()
-    data_source = build_workload(topology, query, ACTUAL, seed=17)
-    cycles = scale.long_cycles
+    sweep = SweepRunner().run(resolve_scenario("ablation-threshold"), scale)
     rows = []
-    baseline = run_single(query, topology, data_source, "innet-cmpg", ASSUMED,
-                          cycles=cycles, seed=0)
-    rows.append({
-        "threshold": "no learning",
-        "total_traffic_kb": baseline.report.total_traffic / 1000.0,
-        "reoptimizations": 0,
-    })
-    for threshold in (0.10, 0.33, 1.00):
-        policy = AdaptivePolicy(divergence_threshold=threshold,
-                                check_interval=10, min_cycles=10)
-        result = run_single(
-            query, topology, data_source, "innet-learn", ASSUMED,
-            cycles=cycles, seed=0, strategy_kwargs={"adaptive_policy": policy},
-        )
+    for label, aggregate in sweep.only().items():
+        reoptimizations = (0 if label == "no learning"
+                           else int(aggregate.mean("reoptimizations")))
         rows.append({
-            "threshold": f"{threshold:.2f}",
-            "total_traffic_kb": result.report.total_traffic / 1000.0,
-            "reoptimizations": result.report.reoptimizations,
+            "threshold": label,
+            "total_traffic_kb": aggregate.mean("total_traffic") / 1000.0,
+            "reoptimizations": reoptimizations,
         })
     return rows
 

@@ -4,33 +4,26 @@ DESIGN.md calls out the number of overlapping routing trees as a key design
 choice of the Innet substrate (the paper uses 3; Appendix C's Figures 16-18
 motivate it via path quality).  This ablation measures the end-to-end effect
 on join traffic: more trees buy shorter producer-to-join-node paths at the
-cost of more exploration during initiation.
+cost of more exploration during initiation.  The sweep runs through the
+scenario engine (the ``ablation-trees`` built-in scenario).
 """
 
 from benchmarks.conftest import run_once
-from repro.core import Selectivities
-from repro.experiments.harness import build_topology, build_workload, run_single
-from repro.workloads.queries import build_query2
+from repro.engine import SweepRunner
+from repro.experiments.scenarios import resolve_scenario
 
 
 def _ablation(scale):
-    topology = build_topology(scale, preset="moderate", seed=0)
-    query = build_query2()
-    selectivities = Selectivities(0.5, 0.5, 0.05)
-    data_source = build_workload(topology, query, selectivities, seed=42)
+    sweep = SweepRunner().run(resolve_scenario("ablation-trees"), scale)
     rows = []
-    for num_trees in (1, 2, 3):
-        result = run_single(
-            query, topology, data_source, "innet-cmg", selectivities,
-            cycles=scale.cycles, seed=0,
-            strategy_kwargs={"num_trees": num_trees},
-        )
+    for label, aggregate in sweep.only().items():
+        report = aggregate.runs[0].report
         rows.append({
-            "num_trees": num_trees,
-            "total_traffic_kb": result.report.total_traffic / 1000.0,
-            "initiation_kb": result.report.initiation_traffic / 1000.0,
-            "computation_kb": result.report.computation_traffic / 1000.0,
-            "results": result.report.results_produced,
+            "num_trees": int(label.split("-")[0]),
+            "total_traffic_kb": report.total_traffic / 1000.0,
+            "initiation_kb": report.initiation_traffic / 1000.0,
+            "computation_kb": report.computation_traffic / 1000.0,
+            "results": report.results_produced,
         })
     return rows
 

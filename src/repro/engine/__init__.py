@@ -28,25 +28,33 @@ from repro.engine.registry import (
     FIGURE2_ALGORITHMS,
     MESH_ALGORITHMS,
     QUERIES,
+    RUN_KINDS,
     STRATEGIES,
+    WORKLOAD_SOURCES,
     available_algorithms,
     make_query,
     make_strategy,
+    register_assumed_provider,
     register_query_builder,
+    register_run_kind,
     register_strategy,
+    register_workload_source,
 )
-from repro.engine.results import AggregateResult, RunResult
+from repro.engine.results import AggregateResult, RunResult, measurement_report
 from repro.engine.runner import SettingResult, SweepResult, SweepRunner
 from repro.engine.spec import (
     SCALES,
     ExperimentScale,
+    PhaseSpec,
     RunSpec,
     ScenarioSpec,
     load_scenario_file,
+    resolve_scale,
     scale_from_env,
 )
 from repro.engine.store import ResultStore
 from repro.engine.workload import (
+    build_phased_workload,
     build_topology,
     build_workload,
     reset_workload_caches,
@@ -58,7 +66,9 @@ __all__ = [
     "ExperimentScale",
     "FIGURE2_ALGORITHMS",
     "MESH_ALGORITHMS",
+    "PhaseSpec",
     "QUERIES",
+    "RUN_KINDS",
     "ResultStore",
     "RunResult",
     "RunSpec",
@@ -68,16 +78,23 @@ __all__ = [
     "SettingResult",
     "SweepResult",
     "SweepRunner",
+    "WORKLOAD_SOURCES",
     "available_algorithms",
+    "build_phased_workload",
     "build_topology",
     "build_workload",
     "execute_run",
     "load_scenario_file",
     "make_query",
     "make_strategy",
+    "measurement_report",
+    "register_assumed_provider",
     "register_query_builder",
+    "register_run_kind",
     "register_strategy",
+    "register_workload_source",
     "reset_workload_caches",
+    "resolve_scale",
     "run_single",
     "scale_from_env",
     "workload_cache_stats",

@@ -104,10 +104,38 @@ register_strategy(
     lambda **kw: InnetJoin(InnetVariant.learn(InnetVariant.basic()), **kw),
 )
 
+_EXPERIMENT_REGISTRATIONS_LOADED = False
+
+
+def load_experiment_registrations() -> None:
+    """Import the experiment layer's registrations on demand.
+
+    The figure modules register their run kinds, scenario queries, workload
+    sources and assumed-selectivity providers when
+    ``repro.experiments.scenarios`` is imported.  Worker processes started
+    with ``spawn`` re-import only the engine, so a registry miss triggers
+    this lazy import before giving up -- making scenario execution
+    independent of which process imported the experiments package first.
+    """
+    global _EXPERIMENT_REGISTRATIONS_LOADED
+    if _EXPERIMENT_REGISTRATIONS_LOADED:
+        return
+    _EXPERIMENT_REGISTRATIONS_LOADED = True
+    try:
+        import repro.experiments.scenarios  # noqa: F401  (imported for side effects)
+    except ImportError:  # pragma: no cover - experiments layer absent
+        pass
+
+
+def _create_with_fallback(registry: "Registry", name: str, **kwargs):
+    if name not in registry:
+        load_experiment_registrations()
+    return registry.create(name, **kwargs)
+
 
 def make_strategy(name: str, **kwargs) -> JoinStrategy:
     """Instantiate a join strategy by its figure label."""
-    return STRATEGIES.create(name, **kwargs)
+    return _create_with_fallback(STRATEGIES, name, **kwargs)
 
 
 def available_algorithms() -> List[str]:
@@ -152,7 +180,78 @@ _register_builtin_queries()
 
 def make_query(name: str, **kwargs) -> JoinQuery:
     """Build a query by its registered name."""
-    return QUERIES.create(name, **kwargs)
+    return _create_with_fallback(QUERIES, name, **kwargs)
+
+
+def query_builder_for(name: str) -> Callable[..., JoinQuery]:
+    """The registered builder callable for *name* (with lazy fallback)."""
+    if name not in QUERIES:
+        load_experiment_registrations()
+    if name not in QUERIES:
+        raise KeyError(
+            f"unknown query {name!r}; expected one of {QUERIES.names()}"
+        )
+    return QUERIES.builders[name]
+
+
+# ---------------------------------------------------------------------------
+# run kinds, workload sources and assumed-selectivity providers
+# ---------------------------------------------------------------------------
+
+#: Run-kind executors: ``name -> fn(spec: RunSpec) -> ExecutionReport``.  The
+#: default ``join`` kind is built into :mod:`repro.engine.execution`; figure
+#: modules register measurement kinds (path quality, initiation, mobility...)
+#: so every figure of the paper can be expressed as a ScenarioSpec.
+RUN_KINDS = Registry("run kind")
+register_run_kind = RUN_KINDS.register
+
+#: Data-source builders beyond the synthetic sigma-controlled default:
+#: ``name -> fn(topology, query, seed, **kwargs) -> DataSource`` (the Intel
+#: humidity trace, the Sel1/Sel2 spatial-skew source, ...).
+WORKLOAD_SOURCES = Registry("workload source")
+register_workload_source = WORKLOAD_SOURCES.register
+
+#: Assumed-selectivity providers: ``name -> fn(topology=..., query=...,
+#: data_source=..., spec=...) -> SelectivityProvider`` for estimates that are
+#: functions of the workload (per-pair oracles, measured selectivities).
+ASSUMED_PROVIDERS = Registry("assumed-selectivity provider")
+register_assumed_provider = ASSUMED_PROVIDERS.register
+
+
+def resolve_run_kind(name: str) -> Callable:
+    """The executor callable registered for run kind *name*."""
+    if name not in RUN_KINDS:
+        load_experiment_registrations()
+    if name not in RUN_KINDS:
+        raise KeyError(
+            f"unknown run kind {name!r}; expected 'join' or one of "
+            f"{RUN_KINDS.names()}"
+        )
+    return RUN_KINDS.builders[name]
+
+
+def resolve_workload_source(name: str) -> Callable:
+    """The data-source builder registered under *name*."""
+    if name not in WORKLOAD_SOURCES:
+        load_experiment_registrations()
+    if name not in WORKLOAD_SOURCES:
+        raise KeyError(
+            f"unknown workload source {name!r}; expected one of "
+            f"{WORKLOAD_SOURCES.names()}"
+        )
+    return WORKLOAD_SOURCES.builders[name]
+
+
+def resolve_assumed_provider(name: str) -> Callable:
+    """The assumed-selectivity provider registered under *name*."""
+    if name not in ASSUMED_PROVIDERS:
+        load_experiment_registrations()
+    if name not in ASSUMED_PROVIDERS:
+        raise KeyError(
+            f"unknown assumed-selectivity provider {name!r}; expected one of "
+            f"{ASSUMED_PROVIDERS.names()}"
+        )
+    return ASSUMED_PROVIDERS.builders[name]
 
 
 def resolve_query_name(query_builder: Callable[..., JoinQuery]) -> str:

@@ -39,6 +39,41 @@ class RunResult:
         return float(value)
 
 
+def measurement_report(
+    query_name: str,
+    algorithm: str,
+    cycles: int = 0,
+    total_traffic: float = 0.0,
+    base_traffic: float = 0.0,
+    max_node_load: float = 0.0,
+    **extra: float,
+) -> ExecutionReport:
+    """An ExecutionReport for measurement-style run kinds.
+
+    Custom run kinds (path quality, initiation traffic, mobility) do not run
+    the join execution loop; they fill the traffic fields that apply and put
+    kind-specific metrics into ``extra``, so their results flow through the
+    same aggregation, metric lookup and result store as join runs.
+    """
+    return ExecutionReport(
+        query_name=query_name,
+        algorithm=algorithm,
+        cycles=cycles,
+        total_traffic=total_traffic,
+        initiation_traffic=0.0,
+        computation_traffic=total_traffic,
+        base_traffic=base_traffic,
+        max_node_load=max_node_load,
+        results_produced=0,
+        results_delivered=0,
+        average_result_delay_cycles=0.0,
+        average_result_path_hops=0.0,
+        messages_dropped=0,
+        queue_drops=0,
+        extra={key: float(value) for key, value in extra.items()},
+    )
+
+
 @dataclass
 class AggregateResult:
     """Mean and 95 % confidence interval across seeded runs."""

@@ -191,10 +191,11 @@ class SweepRunner:
             group = groups.get(spec.setting)
             if group is None:
                 group = groups[spec.setting] = SettingResult(setting=spec.setting_dict())
-            aggregate = group.aggregates.get(spec.algorithm)
+            label = spec.display_label
+            aggregate = group.aggregates.get(label)
             if aggregate is None:
-                aggregate = group.aggregates[spec.algorithm] = AggregateResult(
-                    algorithm=spec.algorithm
+                aggregate = group.aggregates[label] = AggregateResult(
+                    algorithm=label
                 )
             aggregate.runs.append(
                 RunResult(algorithm=spec.algorithm, seed=spec.seed,

@@ -9,6 +9,13 @@ algorithm at one grid point; it is pure data (picklable, JSON-able), which is
 what lets the execution layer schedule runs across worker processes and the
 result store key completed runs by content hash.
 
+Multi-phase runs (Sections 6/7 and Appendix G of the paper) are declared with
+:class:`PhaseSpec`: an ordered list of execution phases, each with its own
+cycle budget, data-source override (temporal drift), failure injection and
+leaf-mobility injection.  Phases are resolved to explicit cycle counts at
+expansion time so a phased ``RunSpec`` stays pure data and flows through the
+parallel executor and the result store unchanged.
+
 Scenarios round-trip through plain dictionaries, JSON and TOML, so they can
 be authored as files (see ``examples/scenarios/``) and run from the CLI with
 ``python -m repro.experiments run-scenario``.
@@ -57,12 +64,28 @@ SCALES: Dict[str, ExperimentScale] = {
 }
 
 
+def resolve_scale(name: str) -> ExperimentScale:
+    """Look up a scale preset by name, rejecting unknown values loudly."""
+    key = name.strip().lower()
+    if key not in SCALES:
+        raise KeyError(
+            f"unknown scale preset {name!r}; expected one of {sorted(SCALES)}"
+        )
+    return SCALES[key]
+
+
 def scale_from_env(default: str = "default") -> ExperimentScale:
-    """Pick the scale from the ``REPRO_SCALE`` environment variable."""
-    name = os.environ.get("REPRO_SCALE", default).lower()
-    if name not in SCALES:
-        raise KeyError(f"unknown REPRO_SCALE {name!r}; expected one of {sorted(SCALES)}")
-    return SCALES[name]
+    """Pick the scale from the ``REPRO_SCALE`` environment variable.
+
+    Unknown values are rejected with the list of valid presets (never a
+    silent fallback); an unset or empty variable means *default*.
+    """
+    name = os.environ.get("REPRO_SCALE", "").strip() or default
+    if name.lower() not in SCALES:
+        raise KeyError(
+            f"unknown REPRO_SCALE {name!r}; expected one of {sorted(SCALES)}"
+        )
+    return SCALES[name.lower()]
 
 
 # ---------------------------------------------------------------------------
@@ -114,12 +137,158 @@ def content_hash(payload: Any) -> str:
 
 
 # ---------------------------------------------------------------------------
+# execution phases
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """One ordered execution phase of a (join-kind) run.
+
+    Parameters
+    ----------
+    name:
+        Phase label; per-phase traffic shows up in the execution report as
+        ``phase_<name>_traffic`` / ``phase_<name>_cycles``.
+    cycles / fraction:
+        The phase's cycle budget: an explicit count, or a fraction of the
+        run's total cycles (resolved at expansion time).  At most one phase
+        per run may leave both unset -- it absorbs the remaining cycles.
+    data:
+        Optional selectivity override (``sigma_s``/``sigma_t``/``sigma_st``
+        or ``ratio``/``sigma_st``) taking effect from this phase's first
+        cycle on -- the paper's temporal-drift experiments (Section 6.2).
+    failures:
+        Failure events injected during this phase: ``{"node": <id>, "at":
+        <offset>}`` with ``at`` counted from the phase start (default 0).
+        ``"node": "join"`` resolves, at execution time, to the join node the
+        run's own strategy places for the query's first pair (Section 7).
+    moves:
+        Leaf-mobility events applied at the phase start: ``{"node": <id>}``
+        or ``{"node": "leaf"}`` (the last leaf in node-id order, as in
+        Appendix G), with an optional ``radius`` in metres (default: the
+        topology's radio range).
+    """
+
+    name: str
+    cycles: Optional[int] = None
+    fraction: Optional[float] = None
+    data: Optional[FrozenMapping] = None
+    failures: Tuple[FrozenMapping, ...] = ()
+    moves: Tuple[FrozenMapping, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("phase name must be non-empty")
+        if self.cycles is not None and self.fraction is not None:
+            raise ValueError(f"phase {self.name!r}: give cycles or fraction, not both")
+        if self.cycles is not None and self.cycles < 1:
+            raise ValueError(f"phase {self.name!r}: cycles must be positive")
+        if self.fraction is not None and not 0.0 < self.fraction <= 1.0:
+            raise ValueError(f"phase {self.name!r}: fraction must be in (0, 1]")
+        object.__setattr__(
+            self, "data", freeze(self.data) if self.data is not None else None
+        )
+        object.__setattr__(self, "failures", tuple(freeze(f) for f in self.failures))
+        object.__setattr__(self, "moves", tuple(freeze(m) for m in self.moves))
+
+    # -- serialization ------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "cycles": self.cycles,
+            "fraction": self.fraction,
+            "data": _jsonable(self.data) if self.data is not None else None,
+            "failures": [_jsonable(event) for event in self.failures],
+            "moves": [_jsonable(event) for event in self.moves],
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "PhaseSpec":
+        known = {f.name for f in fields(cls)}
+        unknown = set(payload) - known
+        if unknown:
+            raise ValueError(
+                f"unknown phase field(s) {sorted(unknown)}; expected a subset "
+                f"of {sorted(known)}"
+            )
+        data = dict(payload)
+        data["failures"] = tuple(data.get("failures") or ())
+        data["moves"] = tuple(data.get("moves") or ())
+        return cls(**data)
+
+    def data_dict(self) -> Optional[Dict[str, Any]]:
+        return thaw(self.data) if self.data is not None else None
+
+    def failure_events(self) -> List[Dict[str, Any]]:
+        return [thaw(event) for event in self.failures]
+
+    def move_events(self) -> List[Dict[str, Any]]:
+        return [thaw(event) for event in self.moves]
+
+
+def _coerce_phase(phase: Union[PhaseSpec, Mapping[str, Any]]) -> PhaseSpec:
+    if isinstance(phase, PhaseSpec):
+        return phase
+    return PhaseSpec.from_dict(phase)
+
+
+def resolve_phases(
+    phases: Sequence[PhaseSpec], total_cycles: int
+) -> Tuple[PhaseSpec, ...]:
+    """Resolve fraction/remainder phases to explicit cycle counts.
+
+    The resolved phases partition ``total_cycles`` exactly: fractions become
+    ``int(total * fraction)`` (matching
+    :meth:`~repro.network.failures.FailureInjector.schedule_fraction_of_run`),
+    and the single allowed open phase absorbs whatever is left.
+    """
+    names = [p.name for p in phases]
+    if len(set(names)) != len(names):
+        raise ValueError(
+            f"phase names must be unique (got {names}); duplicate names would "
+            "overwrite each other's per-phase report metrics"
+        )
+    open_phases = [p for p in phases if p.cycles is None and p.fraction is None]
+    if len(open_phases) > 1:
+        raise ValueError(
+            "at most one phase may omit both cycles and fraction "
+            f"(got {[p.name for p in open_phases]})"
+        )
+    budgets: List[Optional[int]] = []
+    for phase in phases:
+        if phase.cycles is not None:
+            budgets.append(phase.cycles)
+        elif phase.fraction is not None:
+            budgets.append(int(total_cycles * phase.fraction))
+        else:
+            budgets.append(None)
+    fixed = sum(b for b in budgets if b is not None)
+    remainder = total_cycles - fixed
+    if open_phases:
+        if remainder <= 0:
+            raise ValueError(
+                f"phases over-allocate the run: {fixed} fixed cycles leave "
+                f"{remainder} for the open phase (total {total_cycles})"
+            )
+        budgets = [b if b is not None else remainder for b in budgets]
+    elif fixed != total_cycles:
+        raise ValueError(
+            f"phase cycles sum to {fixed}, but the run has {total_cycles}"
+        )
+    return tuple(
+        replace(phase, cycles=budget, fraction=None)
+        for phase, budget in zip(phases, budgets)
+    )
+
+
+# ---------------------------------------------------------------------------
 # run specification: one schedulable unit
 # ---------------------------------------------------------------------------
 
 #: Bump when the execution semantics change in a way that invalidates stored
 #: results (the hash of every RunSpec includes this salt).
-ENGINE_VERSION = 1
+ENGINE_VERSION = 2
 
 
 @dataclass(frozen=True)
@@ -150,6 +319,14 @@ class RunSpec:
     link_seed: int = 0
     failures: Tuple[Tuple[int, int], ...] = ()   # (node_id, sampling_cycle)
     strategy_kwargs: FrozenMapping = ()
+    kind: str = "join"                           # executor (see registry.RUN_KINDS)
+    label: str = ""                              # figure-legend label; '' = algorithm
+    params: FrozenMapping = ()                   # kind-specific parameters
+    phases: Tuple[PhaseSpec, ...] = ()           # resolved: every phase has cycles
+    workload_source: Optional[str] = None        # registered data-source builder
+    workload_kwargs: FrozenMapping = ()
+    assumed_source: Optional[str] = None         # registered selectivity provider
+    assumed_kwargs: FrozenMapping = ()
 
     @property
     def data_selectivities(self) -> Selectivities:
@@ -161,23 +338,37 @@ class RunSpec:
             self.assumed_sigma_s, self.assumed_sigma_t, self.assumed_sigma_st
         )
 
+    @property
+    def display_label(self) -> str:
+        """How this run is keyed in aggregates (figure-legend label)."""
+        return self.label or self.algorithm
+
     def setting_dict(self) -> Dict[str, Any]:
         return thaw(self.setting) if self.setting else {}
 
+    def params_dict(self) -> Dict[str, Any]:
+        return thaw(self.params) if self.params else {}
+
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)
-        for key in ("setting", "query_kwargs", "strategy_kwargs"):
+        for key in ("setting", "query_kwargs", "strategy_kwargs", "params",
+                    "workload_kwargs", "assumed_kwargs"):
             payload[key] = _jsonable(payload[key])
         payload["failures"] = [list(event) for event in self.failures]
+        payload["phases"] = [phase.to_dict() for phase in self.phases]
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "RunSpec":
         data = dict(payload)
-        for key in ("setting", "query_kwargs", "strategy_kwargs"):
+        for key in ("setting", "query_kwargs", "strategy_kwargs", "params",
+                    "workload_kwargs", "assumed_kwargs"):
             data[key] = freeze(data.get(key) or {})
         data["failures"] = tuple(
             (int(node), int(cycle)) for node, cycle in data.get("failures") or ()
+        )
+        data["phases"] = tuple(
+            PhaseSpec.from_dict(phase) for phase in data.get("phases") or ()
         )
         return cls(**data)
 
@@ -189,7 +380,8 @@ class RunSpec:
 
     def __hash__(self) -> int:  # dict-free fields only, all hashable
         return hash((self.scenario, self.setting, self.query, self.query_kwargs,
-                     self.algorithm, self.run_index, self.seed))
+                     self.algorithm, self.run_index, self.seed, self.kind,
+                     self.label, self.phases))
 
 
 # ---------------------------------------------------------------------------
@@ -198,11 +390,20 @@ class RunSpec:
 
 #: Grid axes that override a ScenarioSpec field directly.
 _FIELD_AXES = {
-    "query", "cycles", "num_nodes", "topology_preset", "topology_seed",
-    "queue_capacity", "link_loss", "accounting",
+    "query", "query_kwargs", "cycles", "cycles_factor", "num_nodes",
+    "topology_preset", "topology_seed", "queue_capacity", "link_loss",
+    "accounting",
 }
-#: Grid axes with workload-specific handling.
-_WORKLOAD_AXES = {"ratio", "sigma_st", "sigma_s", "sigma_t"}
+#: Grid axes with workload-specific handling.  ``ratio`` applies to both the
+#: data and the assumed selectivities; ``true_ratio`` to the data only and
+#: ``assumed_ratio`` to the estimates only (the Figure 4/8/10 sweeps, where
+#: the workload follows one ratio while the optimizer assumes another).
+_WORKLOAD_AXES = {"ratio", "true_ratio", "assumed_ratio",
+                  "sigma_st", "sigma_s", "sigma_t"}
+
+#: Keys a variant mapping may carry.
+_VARIANT_KEYS = {"label", "algorithm", "assumed", "strategy_kwargs", "phases",
+                 "data", "workload_seed_offset", "cycles_span"}
 
 
 def _selectivity_config(config: Mapping[str, Any]) -> Dict[str, float]:
@@ -231,20 +432,43 @@ def _selectivity_config(config: Mapping[str, Any]) -> Dict[str, float]:
 
 
 def _apply_workload_overrides(data: Dict[str, float],
-                              overrides: Mapping[str, Any]) -> Dict[str, float]:
+                              overrides: Mapping[str, Any],
+                              ratio_axes: Sequence[str] = ("ratio",),
+                              ) -> Dict[str, float]:
     """Apply grid-axis workload overrides onto resolved selectivities.
 
-    A ``ratio`` override resolves sigma_s/sigma_t from the ladder; explicit
-    ``sigma_*`` overrides win over anything ratio-derived.
+    A ratio override (any axis named in *ratio_axes*) resolves sigma_s/sigma_t
+    from the ladder; explicit ``sigma_*`` overrides win over anything
+    ratio-derived.
     """
     data = dict(data)
-    if "ratio" in overrides:
-        sel = selectivities_for_ratio(str(overrides["ratio"]), data["sigma_st"])
-        data["sigma_s"], data["sigma_t"] = sel.sigma_s, sel.sigma_t
+    for axis in ratio_axes:
+        if axis in overrides:
+            sel = selectivities_for_ratio(str(overrides[axis]), data["sigma_st"])
+            data["sigma_s"], data["sigma_t"] = sel.sigma_s, sel.sigma_t
     for key in ("sigma_s", "sigma_t", "sigma_st"):
         if key in overrides:
             data[key] = float(overrides[key])
     return data
+
+
+def _split_workload_block(config: Mapping[str, Any]
+                          ) -> Tuple[Optional[str], Dict[str, Any], Dict[str, Any]]:
+    """Split a ``data`` block into (source name, builder kwargs, sigma block).
+
+    A block with a ``source`` key names a registered data-source builder (see
+    ``repro.engine.registry.WORKLOAD_SOURCES``); the remaining keys are passed
+    to the builder, except sigma fields which stay nominal selectivities.
+    """
+    config = dict(config)
+    source = config.pop("source", None)
+    sigmas = {k: config.pop(k) for k in ("sigma_s", "sigma_t", "sigma_st", "ratio")
+              if k in config}
+    if source is None and config:
+        # no custom source: every remaining key must be a sigma field, which
+        # _selectivity_config validates
+        return None, {}, {**sigmas, **config}
+    return (str(source) if source is not None else None), config, sigmas
 
 
 @dataclass(frozen=True)
@@ -252,9 +476,16 @@ class ScenarioSpec:
     """A declarative description of an experiment sweep."""
 
     name: str
+    kind: str = "join"
     query: str = "query1"
     query_kwargs: Mapping[str, Any] = field(default_factory=dict)
     algorithms: Tuple[str, ...] = ("naive", "base")
+    #: Figure-legend variants.  Each entry is a mapping with a ``label`` and
+    #: optional per-variant overrides (``algorithm``, ``assumed``,
+    #: ``strategy_kwargs``, ``phases``, ``data``, ``workload_seed_offset``,
+    #: ``cycles_span``).  When set, variants replace the plain ``algorithms``
+    #: expansion -- one run per variant per grid point per run index.
+    variants: Tuple[Mapping[str, Any], ...] = ()
     data: Mapping[str, Any] = field(default_factory=lambda: {"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": 0.2})
     assumed: Optional[Mapping[str, Any]] = None
     topology_preset: str = "moderate"
@@ -265,13 +496,21 @@ class ScenarioSpec:
     #: With cycles=None, resolve against the scale's long_cycles (the paper's
     #: long-duration experiments) instead of its standard cycles.
     use_long_cycles: bool = False
+    #: Floor applied after scale resolution (Figure 14 needs >= 20 cycles for
+    #: a mid-run failure to have observable aftermath even at smoke scale).
+    min_cycles: Optional[int] = None
     accounting: str = "bytes"
     queue_capacity: Optional[int] = None
     link_loss: Optional[float] = None
     link_seed: int = 0
     failures: Tuple[Mapping[str, Any], ...] = ()
+    #: Ordered execution phases (see :class:`PhaseSpec`); resolved to explicit
+    #: cycle counts at expansion time.  Variants may override per variant.
+    phases: Tuple[Union[PhaseSpec, Mapping[str, Any]], ...] = ()
     strategy_kwargs: Mapping[str, Mapping[str, Any]] = field(default_factory=dict)
     grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    #: Kind-specific parameters passed through to the run-kind executor.
+    params: Mapping[str, Any] = field(default_factory=dict)
     metrics: Tuple[str, ...] = ("total_traffic", "base_traffic", "max_node_load")
     seed_base: int = 0
     workload_seed_base: int = 100
@@ -281,14 +520,41 @@ class ScenarioSpec:
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
         object.__setattr__(self, "metrics", tuple(self.metrics))
         object.__setattr__(self, "failures", tuple(dict(f) for f in self.failures))
-        for axis in self.grid:
-            if axis not in _FIELD_AXES | _WORKLOAD_AXES:
+        object.__setattr__(self, "phases",
+                           tuple(_coerce_phase(p) for p in self.phases))
+        object.__setattr__(self, "variants", tuple(dict(v) for v in self.variants))
+        for variant in self.variants:
+            unknown = set(variant) - _VARIANT_KEYS
+            if unknown:
                 raise ValueError(
-                    f"unknown grid axis {axis!r}; expected one of "
-                    f"{sorted(_FIELD_AXES | _WORKLOAD_AXES)}"
+                    f"unknown variant field(s) {sorted(unknown)}; expected a "
+                    f"subset of {sorted(_VARIANT_KEYS)}"
                 )
+            if "label" not in variant and "algorithm" not in variant:
+                raise ValueError("a variant needs a label or an algorithm")
+        for axis, values in self.grid.items():
+            self._validate_axis(axis, values)
         if self.accounting not in ("bytes", "messages"):
             raise ValueError("accounting must be 'bytes' or 'messages'")
+
+    def _validate_axis(self, axis: str, values: Sequence[Any]) -> None:
+        known = _FIELD_AXES | _WORKLOAD_AXES
+        composite = [v for v in values if isinstance(v, Mapping)]
+        if composite:
+            # a composite axis: each value is a mapping of joint overrides
+            # (e.g. query + its sigma_st), flattened into the grid point
+            for value in composite:
+                bad = set(value) - known
+                if bad and self.kind == "join":
+                    raise ValueError(
+                        f"composite grid axis {axis!r} sets unknown key(s) "
+                        f"{sorted(bad)}; expected a subset of {sorted(known)}"
+                    )
+            return
+        if axis not in known and self.kind == "join":
+            raise ValueError(
+                f"unknown grid axis {axis!r}; expected one of {sorted(known)}"
+            )
 
     # -- serialization ------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -298,9 +564,12 @@ class ScenarioSpec:
         payload["assumed"] = _jsonable(dict(self.assumed)) if self.assumed is not None else None
         payload["strategy_kwargs"] = _jsonable({k: dict(v) for k, v in self.strategy_kwargs.items()})
         payload["grid"] = _jsonable({k: list(v) for k, v in self.grid.items()})
+        payload["params"] = _jsonable(dict(self.params))
         payload["algorithms"] = list(self.algorithms)
+        payload["variants"] = [_jsonable(dict(v)) for v in self.variants]
         payload["metrics"] = list(self.metrics)
         payload["failures"] = [dict(f) for f in self.failures]
+        payload["phases"] = [phase.to_dict() for phase in self.phases]
         return payload
 
     @classmethod
@@ -316,8 +585,9 @@ class ScenarioSpec:
         for key in ("algorithms", "metrics"):
             if key in data and data[key] is not None:
                 data[key] = tuple(data[key])
-        if "failures" in data and data["failures"] is not None:
-            data["failures"] = tuple(dict(f) for f in data["failures"])
+        for key in ("failures", "variants", "phases"):
+            if key in data and data[key] is not None:
+                data[key] = tuple(data[key])
         return cls(**data)
 
     def to_json(self, indent: int = 2) -> str:
@@ -334,80 +604,159 @@ class ScenarioSpec:
     def __hash__(self) -> int:
         return hash(self.spec_hash())
 
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, ScenarioSpec):
+            return NotImplemented
+        return self.to_dict() == other.to_dict()
+
     def with_overrides(self, **overrides) -> "ScenarioSpec":
         return replace(self, **overrides)
 
     # -- expansion ----------------------------------------------------------
     def grid_points(self) -> List[Dict[str, Any]]:
-        """The cartesian product of the grid axes, in declaration order."""
+        """The cartesian product of the grid axes, in declaration order.
+
+        Mapping-valued axis entries are composite points: their keys are
+        flattened into the grid point (joint overrides that would otherwise
+        need correlated axes, e.g. each query with its own sigma_st).
+        """
         points: List[Dict[str, Any]] = [{}]
         for axis, values in self.grid.items():
-            points = [dict(point, **{axis: value}) for point in points for value in values]
+            expanded = []
+            for point in points:
+                for value in values:
+                    if isinstance(value, Mapping):
+                        expanded.append(dict(point, **value))
+                    else:
+                        expanded.append(dict(point, **{axis: value}))
+            points = expanded
         return points
 
+    def _variants(self) -> List[Dict[str, Any]]:
+        if self.variants:
+            return [dict(v) for v in self.variants]
+        return [{"label": algorithm, "algorithm": algorithm}
+                for algorithm in self.algorithms]
+
     def expand(self, scale: Optional[ExperimentScale] = None) -> List[RunSpec]:
-        """Expand into frozen RunSpecs: grid points x algorithms x run indices."""
+        """Expand into frozen RunSpecs: grid points x variants x run indices."""
         scale = scale or scale_from_env()
         runs = self.runs if self.runs is not None else scale.runs
         default_cycles = (
             self.cycles if self.cycles is not None
             else (scale.long_cycles if self.use_long_cycles else scale.cycles)
         )
+        if self.min_cycles is not None:
+            default_cycles = max(default_cycles, self.min_cycles)
         specs: List[RunSpec] = []
         for setting in self.grid_points():
             field_overrides = {k: v for k, v in setting.items() if k in _FIELD_AXES}
             workload_overrides = {k: v for k, v in setting.items() if k in _WORKLOAD_AXES}
 
-            data = _apply_workload_overrides(
-                _selectivity_config(self.data), workload_overrides
-            )
-            if self.assumed is not None:
-                assumed = _apply_workload_overrides(
-                    _selectivity_config(self.assumed), workload_overrides
-                )
-            else:
-                assumed = dict(data)
-
             query = str(field_overrides.get("query", self.query))
+            query_kwargs = field_overrides.get("query_kwargs", self.query_kwargs)
             cycles = int(field_overrides.get("cycles", default_cycles))
+            if "cycles_factor" in field_overrides:
+                cycles = int(cycles * float(field_overrides["cycles_factor"]))
             num_nodes = int(field_overrides.get(
                 "num_nodes", self.num_nodes if self.num_nodes is not None else scale.num_nodes
             ))
-            failures = tuple(sorted(
-                (int(event["node"]),
-                 int(event["cycle"]) if "cycle" in event
-                 else int(cycles * float(event["at_fraction"])))
-                for event in self.failures
-            ))
             for run_index in range(runs):
-                for algorithm in self.algorithms:
-                    specs.append(RunSpec(
-                        scenario=self.name,
-                        setting=freeze(setting),
-                        query=query,
-                        query_kwargs=freeze(dict(self.query_kwargs)),
-                        algorithm=algorithm,
-                        run_index=run_index,
-                        seed=self.seed_base + run_index,
-                        workload_seed=self.workload_seed_base + run_index,
-                        cycles=cycles,
-                        topology_preset=str(field_overrides.get("topology_preset", self.topology_preset)),
-                        topology_seed=int(field_overrides.get("topology_seed", self.topology_seed)),
-                        num_nodes=num_nodes,
-                        sigma_s=data["sigma_s"],
-                        sigma_t=data["sigma_t"],
-                        sigma_st=data["sigma_st"],
-                        assumed_sigma_s=assumed["sigma_s"],
-                        assumed_sigma_t=assumed["sigma_t"],
-                        assumed_sigma_st=assumed["sigma_st"],
-                        accounting=str(field_overrides.get("accounting", self.accounting)),
-                        queue_capacity=field_overrides.get("queue_capacity", self.queue_capacity),
-                        link_loss=field_overrides.get("link_loss", self.link_loss),
-                        link_seed=self.link_seed,
-                        failures=failures,
-                        strategy_kwargs=freeze(dict(self.strategy_kwargs.get(algorithm, {}))),
+                for variant in self._variants():
+                    specs.append(self._expand_one(
+                        setting, field_overrides, workload_overrides,
+                        variant, run_index,
+                        query=query, query_kwargs=query_kwargs,
+                        cycles=cycles, num_nodes=num_nodes,
                     ))
         return specs
+
+    def _expand_one(self, setting, field_overrides, workload_overrides,
+                    variant, run_index, *, query, query_kwargs,
+                    cycles, num_nodes) -> RunSpec:
+        algorithm = str(variant.get("algorithm", variant.get("label")))
+        label = str(variant.get("label", algorithm))
+
+        # -- workload: custom source or sigma block, plus grid overrides ----
+        data_block = variant.get("data", self.data)
+        source, source_kwargs, sigma_block = _split_workload_block(data_block)
+        data = _apply_workload_overrides(
+            _selectivity_config(sigma_block), workload_overrides,
+            ratio_axes=("ratio", "true_ratio"),
+        )
+
+        # -- assumed: provider, explicit block, or the data selectivities ---
+        assumed_block = variant.get("assumed", self.assumed)
+        assumed_source: Optional[str] = None
+        assumed_kwargs: Dict[str, Any] = {}
+        if isinstance(assumed_block, Mapping) and "provider" in assumed_block:
+            assumed_kwargs = dict(assumed_block)
+            assumed_source = str(assumed_kwargs.pop("provider"))
+            assumed = dict(data)
+        elif assumed_block is not None:
+            assumed = _selectivity_config(assumed_block)
+        else:
+            assumed = dict(data)
+        assumed = _apply_workload_overrides(
+            assumed, workload_overrides, ratio_axes=("ratio", "assumed_ratio"),
+        )
+
+        # -- per-variant cycle span (e.g. the oracle that runs each half of a
+        # drift experiment separately: spans [0, 0.5] and [0.5, 1]) ----------
+        variant_cycles = cycles
+        if "cycles_span" in variant:
+            start_fraction, end_fraction = variant["cycles_span"]
+            variant_cycles = int(cycles * float(end_fraction)) - int(cycles * float(start_fraction))
+
+        # -- phases, resolved to explicit per-phase cycle counts ------------
+        phases = tuple(_coerce_phase(p) for p in variant.get("phases", self.phases))
+        resolved_phases = resolve_phases(phases, variant_cycles) if phases else ()
+
+        failures = tuple(sorted(
+            (int(event["node"]),
+             int(event["cycle"]) if "cycle" in event
+             else int(variant_cycles * float(event["at_fraction"])))
+            for event in self.failures
+        ))
+        strategy_kwargs = variant.get(
+            "strategy_kwargs", self.strategy_kwargs.get(algorithm, {})
+        )
+        workload_seed = (self.workload_seed_base + run_index
+                         + int(variant.get("workload_seed_offset", 0)))
+        return RunSpec(
+            scenario=self.name,
+            setting=freeze(setting),
+            query=query,
+            query_kwargs=freeze(dict(query_kwargs)),
+            algorithm=algorithm,
+            run_index=run_index,
+            seed=self.seed_base + run_index,
+            workload_seed=workload_seed,
+            cycles=variant_cycles,
+            topology_preset=str(field_overrides.get("topology_preset", self.topology_preset)),
+            topology_seed=int(field_overrides.get("topology_seed", self.topology_seed)),
+            num_nodes=num_nodes,
+            sigma_s=data["sigma_s"],
+            sigma_t=data["sigma_t"],
+            sigma_st=data["sigma_st"],
+            assumed_sigma_s=assumed["sigma_s"],
+            assumed_sigma_t=assumed["sigma_t"],
+            assumed_sigma_st=assumed["sigma_st"],
+            accounting=str(field_overrides.get("accounting", self.accounting)),
+            queue_capacity=field_overrides.get("queue_capacity", self.queue_capacity),
+            link_loss=field_overrides.get("link_loss", self.link_loss),
+            link_seed=self.link_seed,
+            failures=failures,
+            strategy_kwargs=freeze(dict(strategy_kwargs)),
+            kind=self.kind,
+            label=label,
+            params=freeze(dict(self.params)),
+            phases=resolved_phases,
+            workload_source=source,
+            workload_kwargs=freeze(source_kwargs),
+            assumed_source=assumed_source,
+            assumed_kwargs=freeze(assumed_kwargs),
+        )
 
 
 # ---------------------------------------------------------------------------

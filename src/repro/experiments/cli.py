@@ -28,7 +28,7 @@ from typing import Dict, List, Optional, Sequence
 
 from repro.engine import SweepRunner
 from repro.experiments import figures_adaptive, figures_joins, figures_substrate
-from repro.experiments.harness import SCALES, ExperimentScale
+from repro.experiments.harness import SCALES, ExperimentScale, scale_from_env
 from repro.experiments.report import format_table, sweep_summary, sweep_to_rows
 from repro.experiments.scenarios import available_scenarios, resolve_scenario
 
@@ -69,8 +69,10 @@ def run_figure(name: str, scale: ExperimentScale,
                runner: Optional[SweepRunner] = None) -> List[dict]:
     """Run one figure's experiment and return its rows.
 
-    Sweep-based figures accept an engine runner (parallel execution and
-    result-store reuse); the rest ignore it.
+    Every built-in figure accepts an engine runner (parallel execution and
+    result-store reuse).  If a figure function has no ``runner`` parameter
+    (e.g. an externally registered one), a warning names it instead of
+    silently dropping the requested ``--jobs``/store settings.
     """
     try:
         _, function = FIGURES[name]
@@ -79,9 +81,29 @@ def run_figure(name: str, scale: ExperimentScale,
             f"unknown figure {name!r}; expected one of {available_figures()}"
         ) from None
     kwargs = {"scale": scale}
-    if runner is not None and "runner" in inspect.signature(function).parameters:
-        kwargs["runner"] = runner
+    if runner is not None:
+        if "runner" in inspect.signature(function).parameters:
+            kwargs["runner"] = runner
+        else:
+            print(
+                f"warning: figure {name!r} does not accept a sweep runner; "
+                "--jobs/--store settings are ignored and it runs serially",
+                file=sys.stderr,
+            )
     return function(**kwargs)
+
+
+def _default_scale_name() -> str:
+    """The CLI's default scale: REPRO_SCALE when set, else 'default'.
+
+    Unknown values abort with the preset list (via the engine's
+    ``scale_from_env`` validation) rather than being silently replaced by
+    the built-in default.
+    """
+    try:
+        return scale_from_env().name
+    except KeyError as error:
+        raise SystemExit(f"error: {error.args[0]}") from None
 
 
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
@@ -110,8 +132,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--figure", "-f", nargs="+", default=[],
                         help="figure id(s) to regenerate, e.g. fig02 fig13")
-    parser.add_argument("--scale", "-s", choices=sorted(SCALES), default="default",
-                        help="experiment scale preset (default: %(default)s)")
+    parser.add_argument("--scale", "-s", choices=sorted(SCALES),
+                        default=_default_scale_name(),
+                        help="experiment scale preset (default: REPRO_SCALE "
+                             "or 'default')")
     parser.add_argument("--list", "-l", action="store_true",
                         help="list available figure ids and exit")
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
@@ -127,8 +151,10 @@ def build_run_scenario_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("scenario", nargs="+",
                         help="built-in scenario name or path to a .json/.toml file")
-    parser.add_argument("--scale", "-s", choices=sorted(SCALES), default="default",
-                        help="experiment scale preset (default: %(default)s)")
+    parser.add_argument("--scale", "-s", choices=sorted(SCALES),
+                        default=_default_scale_name(),
+                        help="experiment scale preset (default: REPRO_SCALE "
+                             "or 'default')")
     _add_engine_options(parser)
     return parser
 

@@ -1,28 +1,40 @@
 """Figures 10-14: adaptive re-optimization, real-life data and node failure.
 
 These experiments exercise Section 6 (learning selectivities and
-re-optimizing) and Section 7 (join-node failure).
+re-optimizing) and Section 7 (join-node failure).  Every figure is expressed
+as a declarative :class:`~repro.engine.spec.ScenarioSpec` factory run through
+the engine's :class:`~repro.engine.runner.SweepRunner` -- the figure
+functions are thin row-shaping wrappers, so all of them take ``--jobs``-style
+parallel runners and resume from the result store.  The temporal-drift and
+failure experiments are multi-phase scenarios (:class:`PhaseSpec`).
 """
 
 from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.adaptive import AdaptivePolicy
 from repro.core.cost_model import Selectivities
 from repro.engine import (
     ExperimentScale,
-    build_topology,
-    build_workload,
-    run_single,
+    ScenarioSpec,
+    SweepRunner,
+    register_assumed_provider,
+    register_query_builder,
+    register_workload_source,
     scale_from_env,
 )
-from repro.network.failures import FailureInjector
 from repro.query.analysis import analyze_query
 from repro.workloads.datasource import SyntheticDataSource
-from repro.workloads.intel import intel_query3_workload, measure_dynamic_join_selectivity
-from repro.workloads.queries import build_query0, build_query1, build_query2
+from repro.workloads.intel import IntelDataSource, measure_dynamic_join_selectivity
+from repro.workloads.queries import build_query0
 from repro.workloads.selectivity import RATIO_LADDER, SEL1, SEL2
+
+__all__ = [
+    "fig10_learning_gain", "fig11_learning_duration", "fig12a_spatial_skew",
+    "fig12b_temporal_drift", "fig13_intel_learning", "fig14_failure",
+    "fig10_scenario", "fig11_scenario", "fig12a_scenario", "fig12b_scenario",
+    "fig13_scenario", "fig14_scenario",
+]
 
 
 def _selectivities(label: str, sigma_st: float) -> Selectivities:
@@ -32,51 +44,134 @@ def _selectivities(label: str, sigma_st: float) -> Selectivities:
     raise KeyError(label)
 
 
-_LEARNING_POLICY = AdaptivePolicy(check_interval=10, min_cycles=10)
+def _sigma_dict(selectivities: Selectivities) -> Dict[str, float]:
+    return {"sigma_s": selectivities.sigma_s, "sigma_t": selectivities.sigma_t,
+            "sigma_st": selectivities.sigma_st}
+
+
+#: Section 6's learning configuration, as declarative strategy kwargs.
+_LEARNING_POLICY = {"check_interval": 10, "min_cycles": 10}
+
+#: The composite query axis of the learning sweeps: each query with its
+#: paper join selectivity (Table 2 / Section 6.1).
+_LEARNING_WORKLOADS = [
+    {"query": "query0-random", "sigma_st": 0.20},
+    {"query": "query1", "sigma_st": 0.05},
+    {"query": "query2", "sigma_st": 0.10},
+]
+
+#: Engine query names -> the paper's figure labels.
+_QUERY_LABELS = {"query0-random": "query0"}
+
+
+def _query_label(name: str) -> str:
+    return _QUERY_LABELS.get(name, name)
+
+
+@register_query_builder("query0-span")
+def _build_query0_span(topology, low: int = 2, high: int = 3,
+                       window_size: int = 3):
+    """Query 0 with rank-derived endpoints (Figure 14's fixed join pair).
+
+    Topology-aware: the endpoints are the ``low``-th smallest and ``high``-th
+    largest non-base node ids of the run's deployment.
+    """
+    ids = sorted(n for n in topology.node_ids if n != topology.base_id)
+    return build_query0(source_id=ids[low], target_id=ids[-high],
+                        window_size=window_size)
 
 
 # ---------------------------------------------------------------------------
 # Figures 10 and 11: learning under wrong initial estimates
 # ---------------------------------------------------------------------------
 
-def _learning_gain_rows(
-    query_builder,
-    query_name: str,
-    sigma_st: float,
-    cycles: int,
-    scale: ExperimentScale,
-    true_ratios: Sequence[str],
-    estimated_ratios: Sequence[str],
-) -> List[Dict[str, object]]:
-    topology = build_topology(scale, preset="moderate", seed=0)
+def _learning_scenario(name: str, description: str,
+                       workloads: Sequence[Dict[str, object]],
+                       true_ratios: Sequence[str],
+                       estimated_ratios: Sequence[str],
+                       duration_grid: Optional[Dict[str, Sequence[object]]] = None,
+                       ) -> ScenarioSpec:
+    grid: Dict[str, Sequence[object]] = {}
+    if duration_grid:
+        grid.update(duration_grid)
+    grid["workload"] = list(workloads)
+    grid["true_ratio"] = list(true_ratios)
+    grid["assumed_ratio"] = list(estimated_ratios)
+    return ScenarioSpec(
+        name=name,
+        description=description,
+        variants=(
+            {"label": "no_learning", "algorithm": "innet-cmpg"},
+            {"label": "learning", "algorithm": "innet-learn",
+             "strategy_kwargs": {"adaptive_policy": dict(_LEARNING_POLICY)}},
+        ),
+        data={"ratio": true_ratios[0], "sigma_st": 0.20},
+        grid=grid,
+        use_long_cycles=True,
+        runs=1,
+        workload_seed_base=500,
+    )
+
+
+def fig10_scenario(queries: Optional[Sequence[str]] = None,
+                   true_ratios: Optional[Sequence[str]] = None,
+                   estimated_ratios: Optional[Sequence[str]] = None,
+                   ) -> ScenarioSpec:
+    """The declarative Figure 10 sweep: learning gain per query and ratio."""
+    default_ratios = ["1/10:1", "1/2:1/2", "1:1/10"]
+    queries = list(queries or ["query0", "query1", "query2"])
+    workloads = [w for w in _LEARNING_WORKLOADS
+                 if _query_label(str(w["query"])) in queries]
+    return _learning_scenario(
+        "fig10",
+        "traffic with and without learning under wrong initial estimates",
+        workloads,
+        list(true_ratios or default_ratios),
+        list(estimated_ratios or default_ratios),
+    )
+
+
+def fig11_scenario(durations: Optional[Sequence[int]] = None) -> ScenarioSpec:
+    """The declarative Figure 11 sweep: learning gain vs run duration.
+
+    Without explicit *durations*, the scale-relative ``cycles_factor`` axis
+    sweeps 1x/2x/4x the scale's long-cycle count (exactly the bespoke
+    figure's durations at every scale).
+    """
+    duration_grid: Dict[str, Sequence[object]] = (
+        {"cycles": list(durations)} if durations is not None
+        else {"cycles_factor": [1, 2, 4]}
+    )
+    scenario = _learning_scenario(
+        "fig11",
+        "learning approaches correct-estimate performance as runs lengthen",
+        [_LEARNING_WORKLOADS[0]],
+        ["1/10:1", "1:1/10"],
+        ["1/10:1", "1:1/10"],
+        duration_grid=duration_grid,
+    )
+    return scenario
+
+
+def _learning_gain_rows(sweep, cycles_of) -> List[Dict[str, object]]:
     rows: List[Dict[str, object]] = []
-    for true_label in true_ratios:
-        actual = _selectivities(true_label, sigma_st)
-        query = query_builder()
-        data_source = build_workload(topology, query, actual, seed=500)
-        for estimate_label in estimated_ratios:
-            assumed = _selectivities(estimate_label, sigma_st)
-            without = run_single(
-                query, topology, data_source, "innet-cmpg", assumed,
-                cycles=cycles, seed=0,
-            )
-            with_learning = run_single(
-                query, topology, data_source, "innet-learn", assumed,
-                cycles=cycles, seed=0,
-                strategy_kwargs={"adaptive_policy": _LEARNING_POLICY},
-            )
-            gain = without.report.total_traffic - with_learning.report.total_traffic
-            rows.append({
-                "query": query_name,
-                "true_ratio": true_label,
-                "estimated_ratio": estimate_label,
-                "correct_estimate": estimate_label == true_label,
-                "no_learning_kb": without.report.total_traffic / 1000.0,
-                "learning_kb": with_learning.report.total_traffic / 1000.0,
-                "gain_kb": gain / 1000.0,
-                "reoptimizations": with_learning.report.reoptimizations,
-                "cycles": cycles,
-            })
+    for group in sweep.groups:
+        setting = group.setting
+        without = group.aggregates["no_learning"]
+        learning = group.aggregates["learning"]
+        no_learning = without.mean("total_traffic")
+        with_learning = learning.mean("total_traffic")
+        rows.append({
+            "query": _query_label(setting["query"]),
+            "true_ratio": setting["true_ratio"],
+            "estimated_ratio": setting["assumed_ratio"],
+            "correct_estimate": setting["assumed_ratio"] == setting["true_ratio"],
+            "no_learning_kb": no_learning / 1000.0,
+            "learning_kb": with_learning / 1000.0,
+            "gain_kb": (no_learning - with_learning) / 1000.0,
+            "reoptimizations": int(learning.mean("reoptimizations")),
+            "cycles": cycles_of(setting),
+        })
     return rows
 
 
@@ -84,46 +179,28 @@ def fig10_learning_gain(scale: Optional[ExperimentScale] = None,
                         queries: Optional[Sequence[str]] = None,
                         true_ratios: Optional[Sequence[str]] = None,
                         estimated_ratios: Optional[Sequence[str]] = None,
+                        runner: Optional[SweepRunner] = None,
                         ) -> List[Dict[str, object]]:
     """Figure 10: traffic with and without learning when initial estimates are
     wrong (Queries 0-2, 200 sampling cycles in the paper)."""
     scale = scale or scale_from_env()
-    queries = list(queries or ["query0", "query1", "query2"])
-    default_ratios = ["1/10:1", "1/2:1/2", "1:1/10"]
-    true_ratios = list(true_ratios or default_ratios)
-    estimated_ratios = list(estimated_ratios or default_ratios)
-    builders = {
-        "query0": (lambda: build_query0(num_nodes=scale.num_nodes, seed=1), 0.20),
-        "query1": (build_query1, 0.05),
-        "query2": (build_query2, 0.10),
-    }
-    rows: List[Dict[str, object]] = []
-    for name in queries:
-        builder, sigma_st = builders[name]
-        rows.extend(_learning_gain_rows(
-            builder, name, sigma_st, scale.long_cycles, scale,
-            true_ratios, estimated_ratios,
-        ))
-    return rows
+    sweep = (runner or SweepRunner()).run(
+        fig10_scenario(queries, true_ratios, estimated_ratios), scale
+    )
+    return _learning_gain_rows(sweep, lambda setting: scale.long_cycles)
 
 
 def fig11_learning_duration(scale: Optional[ExperimentScale] = None,
                             durations: Optional[Sequence[int]] = None,
+                            runner: Optional[SweepRunner] = None,
                             ) -> List[Dict[str, object]]:
     """Figure 11: the longer the run, the closer wrong-estimate + learning gets
     to correct-estimate performance (Query 0, sigma_st = 20 %)."""
     scale = scale or scale_from_env()
     if durations is None:
         durations = [scale.long_cycles, 2 * scale.long_cycles, 4 * scale.long_cycles]
-    rows: List[Dict[str, object]] = []
-    for cycles in durations:
-        rows.extend(_learning_gain_rows(
-            lambda: build_query0(num_nodes=scale.num_nodes, seed=1),
-            "query0", 0.20, cycles, scale,
-            true_ratios=["1/10:1", "1:1/10"],
-            estimated_ratios=["1/10:1", "1:1/10"],
-        ))
-    return rows
+    sweep = (runner or SweepRunner()).run(fig11_scenario(durations), scale)
+    return _learning_gain_rows(sweep, lambda setting: setting["cycles"])
 
 
 # ---------------------------------------------------------------------------
@@ -140,6 +217,17 @@ def _split_eligible(topology, query) -> Tuple[List[int], List[int], List[int], L
     half_t = len(eligible_t) // 2
     return (eligible_s[:half_s], eligible_s[half_s:],
             eligible_t[:half_t], eligible_t[half_t:])
+
+
+def _node_regimes(topology, query) -> Dict[int, Selectivities]:
+    """Which regime (Sel1/Sel2) each eligible producer follows (Figure 12a)."""
+    sel1_s, sel2_s, sel1_t, sel2_t = _split_eligible(topology, query)
+    regimes: Dict[int, Selectivities] = {}
+    for nodes, regime in ((sel1_s, SEL1), (sel2_s, SEL2),
+                          (sel1_t, SEL1), (sel2_t, SEL2)):
+        for node in nodes:
+            regimes[node] = regime
+    return regimes
 
 
 def _skewed_source(topology, query, seed: int) -> Tuple[SyntheticDataSource, Dict[int, Selectivities]]:
@@ -165,98 +253,146 @@ def _skewed_source(topology, query, seed: int) -> Tuple[SyntheticDataSource, Dic
     return source, regimes
 
 
+@register_workload_source("fig12a-skewed")
+def _build_skewed_source(topology, query, seed: int = 600, **_):
+    return _skewed_source(topology, query, seed=seed)[0]
+
+
+@register_assumed_provider("fig12a-full-knowledge")
+def _full_knowledge_provider(topology, query, **_):
+    """The per-pair oracle of Figure 12a: each endpoint's true regime."""
+    regimes = _node_regimes(topology, query)
+
+    def full_knowledge(pair):
+        source_regime = regimes.get(pair[0], SEL1)
+        target_regime = regimes.get(pair[1], SEL1)
+        return Selectivities(
+            sigma_s=source_regime.sigma_s,
+            sigma_t=target_regime.sigma_t,
+            sigma_st=min(source_regime.sigma_st, target_regime.sigma_st),
+        )
+
+    return full_knowledge
+
+
+def fig12a_scenario(queries: Optional[Sequence[str]] = None) -> ScenarioSpec:
+    """The declarative Figure 12a sweep: Sel1/Sel2 spatial skew."""
+    queries = list(queries or ["query1", "query2"])
+    return ScenarioSpec(
+        name="fig12a",
+        description="per-node Sel1/Sel2 regimes; learning approaches the "
+                    "full-knowledge oracle",
+        variants=(
+            {"label": "Sel1", "algorithm": "innet-cmpg",
+             "assumed": _sigma_dict(SEL1)},
+            {"label": "Sel2", "algorithm": "innet-cmpg",
+             "assumed": _sigma_dict(SEL2)},
+            {"label": "Full knowledge", "algorithm": "innet-cmpg",
+             "assumed": {"provider": "fig12a-full-knowledge"}},
+            {"label": "Sel1 learn", "algorithm": "innet-learn",
+             "assumed": _sigma_dict(SEL1),
+             "strategy_kwargs": {"adaptive_policy": dict(_LEARNING_POLICY)}},
+            {"label": "Sel2 learn", "algorithm": "innet-learn",
+             "assumed": _sigma_dict(SEL2),
+             "strategy_kwargs": {"adaptive_policy": dict(_LEARNING_POLICY)}},
+        ),
+        data={"source": "fig12a-skewed"},
+        grid={"query": queries},
+        use_long_cycles=True,
+        runs=1,
+        workload_seed_base=600,
+    )
+
+
 def fig12a_spatial_skew(scale: Optional[ExperimentScale] = None,
                         queries: Optional[Sequence[str]] = None,
+                        runner: Optional[SweepRunner] = None,
                         ) -> List[Dict[str, object]]:
     """Figure 12a: per-node regimes (Sel1/Sel2); learning approaches the
     full-knowledge oracle."""
     scale = scale or scale_from_env()
-    queries = list(queries or ["query1", "query2"])
-    builders = {"query1": build_query1, "query2": build_query2}
+    sweep = (runner or SweepRunner()).run(fig12a_scenario(queries), scale)
     rows: List[Dict[str, object]] = []
-    topology = build_topology(scale, preset="moderate", seed=0)
-    for name in queries:
-        query = builders[name]()
-        data_source, regimes = _skewed_source(topology, query, seed=600)
-
-        def full_knowledge(pair, _regimes=regimes):
-            source_regime = _regimes.get(pair[0], SEL1)
-            target_regime = _regimes.get(pair[1], SEL1)
-            return Selectivities(
-                sigma_s=source_regime.sigma_s,
-                sigma_t=target_regime.sigma_t,
-                sigma_st=min(source_regime.sigma_st, target_regime.sigma_st),
-            )
-
-        settings = [
-            ("Sel1", "innet-cmpg", SEL1, None),
-            ("Sel2", "innet-cmpg", SEL2, None),
-            ("Full knowledge", "innet-cmpg", full_knowledge, None),
-            ("Sel1 learn", "innet-learn", SEL1, _LEARNING_POLICY),
-            ("Sel2 learn", "innet-learn", SEL2, _LEARNING_POLICY),
-        ]
-        for label, algorithm, assumed, policy in settings:
-            kwargs = {"adaptive_policy": policy} if policy else None
-            result = run_single(
-                query, topology, data_source, algorithm, assumed,
-                cycles=scale.long_cycles, seed=0, strategy_kwargs=kwargs,
-            )
+    for group in sweep.groups:
+        for label, aggregate in group.aggregates.items():
             rows.append({
-                "query": name,
+                "query": group.setting["query"],
                 "setting": label,
-                "total_traffic_kb": result.report.total_traffic / 1000.0,
-                "reoptimizations": result.report.reoptimizations,
+                "total_traffic_kb": aggregate.mean("total_traffic") / 1000.0,
+                "reoptimizations": int(aggregate.mean("reoptimizations")),
             })
     return rows
 
 
+def fig12b_scenario(queries: Optional[Sequence[str]] = None) -> ScenarioSpec:
+    """The declarative Figure 12b sweep: temporal drift, as a two-phase run.
+
+    The workload follows Sel1 for the first half of the run and drifts to
+    Sel2 for the second half (a ``PhaseSpec`` data override).  The
+    full-knowledge oracle is split into two half-runs via ``cycles_span`` --
+    the first optimized for Sel1, the second freshly initiated for Sel2 (on
+    a re-seeded workload, as in the paper's setup).
+    """
+    queries = list(queries or ["query1", "query2"])
+    drift_phases = (
+        {"name": "sel1", "fraction": 0.5},
+        {"name": "sel2", "data": _sigma_dict(SEL2)},
+    )
+    policy = {"adaptive_policy": dict(_LEARNING_POLICY)}
+    return ScenarioSpec(
+        name="fig12b",
+        description="Sel1 -> Sel2 temporal drift; learning recovers most of "
+                    "the oracle's gain",
+        variants=(
+            {"label": "Sel1", "algorithm": "innet-cmpg",
+             "assumed": _sigma_dict(SEL1), "phases": drift_phases},
+            {"label": "Sel2", "algorithm": "innet-cmpg",
+             "assumed": _sigma_dict(SEL2), "phases": drift_phases},
+            {"label": "Sel1 learn", "algorithm": "innet-learn",
+             "assumed": _sigma_dict(SEL1), "phases": drift_phases,
+             "strategy_kwargs": policy},
+            {"label": "Sel2 learn", "algorithm": "innet-learn",
+             "assumed": _sigma_dict(SEL2), "phases": drift_phases,
+             "strategy_kwargs": policy},
+            # the anticipating oracle: Sel1-optimized first half, freshly
+            # re-initiated Sel2 second half on a re-seeded workload
+            {"label": "oracle_first_half", "algorithm": "innet-cmpg",
+             "assumed": _sigma_dict(SEL1), "cycles_span": (0.0, 0.5)},
+            {"label": "oracle_second_half", "algorithm": "innet-cmpg",
+             "assumed": _sigma_dict(SEL2), "data": _sigma_dict(SEL2),
+             "cycles_span": (0.5, 1.0), "workload_seed_offset": 1},
+        ),
+        data=_sigma_dict(SEL1),
+        grid={"query": queries},
+        use_long_cycles=True,
+        runs=1,
+        workload_seed_base=700,
+    )
+
+
 def fig12b_temporal_drift(scale: Optional[ExperimentScale] = None,
                           queries: Optional[Sequence[str]] = None,
+                          runner: Optional[SweepRunner] = None,
                           ) -> List[Dict[str, object]]:
     """Figure 12b: the workload follows Sel1 for the first half of the run and
     Sel2 for the second half; learning recovers most of the oracle's gain."""
     scale = scale or scale_from_env()
-    queries = list(queries or ["query1", "query2"])
-    builders = {"query1": build_query1, "query2": build_query2}
-    cycles = scale.long_cycles
-    half = cycles // 2
+    sweep = (runner or SweepRunner()).run(fig12b_scenario(queries), scale)
     rows: List[Dict[str, object]] = []
-    topology = build_topology(scale, preset="moderate", seed=0)
-    for name in queries:
-        query = builders[name]()
-        data_source = build_workload(
-            topology, query, SEL1, seed=700,
-            switch_cycle=half, switched_to=SEL2,
-        )
-        settings = [
-            ("Sel1", "innet-cmpg", SEL1, None),
-            ("Sel2", "innet-cmpg", SEL2, None),
-            ("Sel1 learn", "innet-learn", SEL1, _LEARNING_POLICY),
-            ("Sel2 learn", "innet-learn", SEL2, _LEARNING_POLICY),
-        ]
-        for label, algorithm, assumed, policy in settings:
-            kwargs = {"adaptive_policy": policy} if policy else None
-            result = run_single(
-                query, topology, data_source, algorithm, assumed,
-                cycles=cycles, seed=0, strategy_kwargs=kwargs,
-            )
+    for group in sweep.groups:
+        aggregates = group.aggregates
+        for label in ("Sel1", "Sel2", "Sel1 learn", "Sel2 learn"):
             rows.append({
-                "query": name,
+                "query": group.setting["query"],
                 "setting": label,
-                "total_traffic_kb": result.report.total_traffic / 1000.0,
+                "total_traffic_kb": aggregates[label].mean("total_traffic") / 1000.0,
             })
-        # The oracle anticipates the change: it runs the first half optimized
-        # for Sel1 and the second half re-initiated for Sel2.
-        first = run_single(query, topology, data_source, "innet-cmpg", SEL1,
-                           cycles=half, seed=0)
-        second_source = build_workload(topology, query, SEL2, seed=701)
-        second = run_single(query, topology, second_source, "innet-cmpg", SEL2,
-                            cycles=cycles - half, seed=0)
+        oracle_total = (aggregates["oracle_first_half"].mean("total_traffic")
+                        + aggregates["oracle_second_half"].mean("total_traffic"))
         rows.append({
-            "query": name,
+            "query": group.setting["query"],
             "setting": "Full knowledge",
-            "total_traffic_kb": (first.report.total_traffic
-                                 + second.report.total_traffic) / 1000.0,
+            "total_traffic_kb": oracle_total / 1000.0,
         })
     return rows
 
@@ -265,8 +401,52 @@ def fig12b_temporal_drift(scale: Optional[ExperimentScale] = None,
 # Figure 13: learning on the Intel-lab workload (Query 3)
 # ---------------------------------------------------------------------------
 
+@register_workload_source("intel-humidity")
+def _build_intel_source(topology, query, seed: int = 2, **_):
+    """The Intel-Research-Berkeley-like humidity trace (Section 6.3)."""
+    return IntelDataSource(topology=topology, seed=seed)
+
+
+@register_assumed_provider("fig13-measured")
+def _measured_selectivity_provider(topology, query, data_source, spec, **_):
+    """Full knowledge for Query 3: the trace's empirical join selectivity."""
+    measured_sigma = measure_dynamic_join_selectivity(
+        data_source, topology, cycles=min(spec.cycles, 50)
+    )
+    return Selectivities(1.0, 1.0, max(0.01, measured_sigma))
+
+
+def fig13_scenario(cycles: Optional[int] = None) -> ScenarioSpec:
+    """The declarative Figure 13 run set: Query 3 on the Intel trace."""
+    measured = {"provider": "fig13-measured"}
+    return ScenarioSpec(
+        name="fig13",
+        description="Query 3 on the Intel-like dataset; learning starts "
+                    "pessimistic and migrates join nodes in-network",
+        query="query3",
+        topology_preset="intel",
+        variants=(
+            {"label": "yang07", "algorithm": "yang07", "assumed": measured},
+            {"label": "ght_gpsr", "algorithm": "ght", "assumed": measured},
+            {"label": "naive_base", "algorithm": "base", "assumed": measured},
+            {"label": "innet_full_knowledge", "algorithm": "innet-cmg",
+             "assumed": measured},
+            {"label": "innet_learn", "algorithm": "innet-learn",
+             "assumed": {"sigma_s": 1.0, "sigma_t": 1.0, "sigma_st": 1.0},
+             "strategy_kwargs": {"adaptive_policy": dict(_LEARNING_POLICY)}},
+        ),
+        data={"source": "intel-humidity"},
+        cycles=cycles,
+        use_long_cycles=True,
+        runs=1,
+        workload_seed_base=2,
+    )
+
+
 def fig13_intel_learning(scale: Optional[ExperimentScale] = None,
-                         cycles: Optional[int] = None) -> List[Dict[str, object]]:
+                         cycles: Optional[int] = None,
+                         runner: Optional[SweepRunner] = None,
+                         ) -> List[Dict[str, object]]:
     """Figure 13: Query 3 on the Intel-like dataset.
 
     ``In-net learn`` starts optimized for sigma_s = sigma_t = sigma_st = 100 %
@@ -275,28 +455,10 @@ def fig13_intel_learning(scale: Optional[ExperimentScale] = None,
     Innet run while keeping a Naive/Base-like load profile.
     """
     scale = scale or scale_from_env()
-    cycles = cycles or scale.long_cycles
-    topology, data_source, query = intel_query3_workload(seed=2)
-    measured_sigma = measure_dynamic_join_selectivity(
-        data_source, topology, cycles=min(cycles, 50)
-    )
-    full_knowledge = Selectivities(1.0, 1.0, max(0.01, measured_sigma))
-    pessimistic = Selectivities(1.0, 1.0, 1.0)
-    settings = [
-        ("yang07", "yang07", full_knowledge, None),
-        ("ght_gpsr", "ght", full_knowledge, None),
-        ("naive_base", "base", full_knowledge, None),
-        ("innet_full_knowledge", "innet-cmg", full_knowledge, None),
-        ("innet_learn", "innet-learn", pessimistic, _LEARNING_POLICY),
-    ]
+    sweep = (runner or SweepRunner()).run(fig13_scenario(cycles), scale)
     rows: List[Dict[str, object]] = []
-    for label, algorithm, assumed, policy in settings:
-        kwargs = {"adaptive_policy": policy} if policy else None
-        result = run_single(
-            query, topology, data_source, algorithm, assumed,
-            cycles=cycles, seed=0, strategy_kwargs=kwargs,
-        )
-        report = result.report
+    for label, aggregate in sweep.only().items():
+        report = aggregate.runs[0].report
         rows.append({
             "setting": label,
             "total_traffic_kb": report.total_traffic / 1000.0,
@@ -309,45 +471,64 @@ def fig13_intel_learning(scale: Optional[ExperimentScale] = None,
 
 
 # ---------------------------------------------------------------------------
-# Figure 14: join-node failure
+# Figure 14: join-node failure (a two-phase run)
 # ---------------------------------------------------------------------------
+
+def fig14_scenario(join_selectivities: Sequence[float] = (0.10, 0.20),
+                   failure_fraction: float = 0.5) -> ScenarioSpec:
+    """The declarative Figure 14 comparison: fail the join node mid-run.
+
+    The ``with_failure`` variant is a two-phase run whose second phase starts
+    ``failure_fraction`` into the run and kills the symbolic ``"join"`` node
+    -- resolved at execution time by scouting where the run's own strategy
+    places the pair's join node (no failure is scheduled when that is the
+    base station, which cannot die).
+    """
+    sweep = list(join_selectivities)
+    return ScenarioSpec(
+        name="fig14",
+        description="result delay and traffic with and without a join-node "
+                    "failure halfway through the run",
+        query="query0-span",
+        query_kwargs={"low": 2, "high": 3},
+        variants=(
+            {"label": "no_failure", "algorithm": "innet"},
+            {"label": "with_failure", "algorithm": "innet",
+             "phases": (
+                 {"name": "pre_failure", "fraction": failure_fraction},
+                 {"name": "after_failure", "failures": ({"node": "join"},)},
+             )},
+        ),
+        data={"sigma_s": 1.0, "sigma_t": 1.0, "sigma_st": sweep[0]},
+        grid={"sigma_st": sweep},
+        min_cycles=20,
+        runs=1,
+        workload_seed_base=800,
+        metrics=("total_traffic", "average_result_delay_cycles",
+                 "results_produced"),
+    )
+
 
 def fig14_failure(scale: Optional[ExperimentScale] = None,
                   join_selectivities: Sequence[float] = (0.10, 0.20),
-                  failure_fraction: float = 0.5) -> List[Dict[str, object]]:
+                  failure_fraction: float = 0.5,
+                  runner: Optional[SweepRunner] = None,
+                  ) -> List[Dict[str, object]]:
     """Figure 14: result delay and total traffic with and without a join-node
     failure halfway through the run (single join pair)."""
-    from repro.joins import InnetJoin, InnetVariant, JoinExecutor
-
     scale = scale or scale_from_env()
-    cycles = max(scale.cycles, 20)
-    topology = build_topology(scale, preset="moderate", seed=0)
-    ids = sorted(n for n in topology.node_ids if n != topology.base_id)
-    query_endpoints = (ids[2], ids[-3])
+    sweep = (runner or SweepRunner()).run(
+        fig14_scenario(join_selectivities, failure_fraction), scale
+    )
     rows: List[Dict[str, object]] = []
-    for sigma_st in join_selectivities:
-        selectivities = Selectivities(1.0, 1.0, sigma_st)
-        query = build_query0(source_id=query_endpoints[0], target_id=query_endpoints[1])
-        data_source = build_workload(topology, query, selectivities, seed=800)
-
-        # Discover where the join node lands so we can fail exactly that node.
-        scout = InnetJoin(InnetVariant.basic())
-        JoinExecutor(query, topology.copy(), data_source, scout, selectivities).initiate()
-        join_node = scout.plan.decision_for(query_endpoints).join_node
-
-        baseline = run_single(query, topology, data_source, "innet", selectivities,
-                              cycles=cycles, seed=0)
-        injector = FailureInjector()
-        if join_node != topology.base_id:
-            injector.schedule_fraction_of_run(join_node, cycles, failure_fraction)
-        failed = run_single(query, topology, data_source, "innet", selectivities,
-                            cycles=cycles, seed=0, failure_injector=injector)
-        for label, result in (("no_failure", baseline), ("with_failure", failed)):
+    for group in sweep.groups:
+        for label, aggregate in group.aggregates.items():
+            report = aggregate.runs[0].report
             rows.append({
-                "sigma_st": sigma_st,
+                "sigma_st": group.setting["sigma_st"],
                 "setting": label,
-                "delay_cycles": result.report.average_result_delay_cycles,
-                "total_traffic_kb": result.report.total_traffic / 1000.0,
-                "results": result.report.results_produced,
+                "delay_cycles": report.average_result_delay_cycles,
+                "total_traffic_kb": report.total_traffic / 1000.0,
+                "results": report.results_produced,
             })
     return rows

@@ -19,19 +19,41 @@ from repro.core.placement import place_join_node
 from repro.engine import (
     FIGURE2_ALGORITHMS,
     ExperimentScale,
+    RunSpec,
     ScenarioSpec,
     SweepRunner,
     build_topology,
-    build_workload,
-    run_single,
+    measurement_report,
+    register_query_builder,
+    register_run_kind,
     scale_from_env,
 )
 from repro.network.message import MessageKind, MessageSizes
 from repro.network.simulator import NetworkSimulator
-from repro.network.topology import all_standard_topologies
 from repro.routing.multitree import MultiTreeSubstrate, PairPath
-from repro.workloads.queries import build_query0, build_query1, build_query2
+from repro.workloads.queries import build_query0
 from repro.workloads.selectivity import JOIN_SELECTIVITIES, RATIO_LADDER
+
+
+@register_query_builder("query0-random")
+def _build_query0_random(topology, seed: int = 1, window_size: int = 3):
+    """Query 0 with random endpoints drawn from the run's deployment size.
+
+    Registered topology-aware so scenarios stay pure data while the endpoint
+    draw follows the scale's node count (the bespoke figures passed
+    ``num_nodes=scale.num_nodes``).
+    """
+    return build_query0(
+        num_nodes=len(topology.node_ids), seed=seed, window_size=window_size
+    )
+
+
+def _preset_num_nodes(preset: str, num_nodes: int) -> int:
+    """The node count a preset actually supports (grid needs a square)."""
+    if preset == "grid":
+        side = max(2, int(round(num_nodes ** 0.5)))
+        return side * side
+    return num_nodes
 
 
 def _default_ratios(ratios: Optional[Sequence[str]]) -> List[str]:
@@ -99,6 +121,7 @@ def _query_traffic_figure(
                 "total_traffic_kb": aggregate.mean("total_traffic") / 1000.0,
                 "base_traffic_kb": aggregate.mean("base_traffic") / 1000.0,
                 "max_node_load_kb": aggregate.mean("max_node_load") / 1000.0,
+                "computation_traffic_kb": aggregate.mean("computation_traffic") / 1000.0,
                 "total_ci95_kb": aggregate.confidence_95("total_traffic") / 1000.0,
             })
     return rows
@@ -128,50 +151,78 @@ def fig03_query2_traffic(scale: Optional[ExperimentScale] = None,
 # Figure 4 / Figure 8: cost-model validation (optimize for wrong selectivities)
 # ---------------------------------------------------------------------------
 
-def _estimate_sensitivity(
-    query_builder,
-    algorithm: str,
-    sigma_st: float,
-    scale: Optional[ExperimentScale],
-    true_ratios: Optional[Sequence[str]],
-    estimated_ratios: Optional[Sequence[str]],
-    query_kwargs: Optional[dict] = None,
-) -> List[Dict[str, object]]:
-    scale = scale or scale_from_env()
+def fig04_scenario(true_ratios: Optional[Sequence[str]] = None,
+                   estimated_ratios: Optional[Sequence[str]] = None,
+                   ) -> ScenarioSpec:
+    """The declarative Figure 4 sweep: Query 0, true x estimated ratio grid."""
     true_ratios = _default_ratios(true_ratios)
     estimated_ratios = _default_ratios(estimated_ratios)
-    topology = build_topology(scale, preset="moderate", seed=0)
+    return ScenarioSpec(
+        name="fig04",
+        description="pairwise cost-model validation on Query 0 "
+                    "(data follows true_ratio, optimizer assumes assumed_ratio)",
+        query="query0-random",
+        query_kwargs={"seed": 1},
+        algorithms=("innet",),
+        data={"ratio": true_ratios[0], "sigma_st": 0.20},
+        grid={"true_ratio": list(true_ratios),
+              "assumed_ratio": list(estimated_ratios)},
+        workload_seed_base=200,
+    )
+
+
+def fig08_scenario(true_ratios: Optional[Sequence[str]] = None,
+                   estimated_ratios: Optional[Sequence[str]] = None,
+                   ) -> ScenarioSpec:
+    """The declarative Figure 8 sweep: MPO cost-model validation.
+
+    The query axis is composite -- each query carries its own paper
+    join selectivity (Query 1 at 5 %, Query 2 at 10 %).
+    """
+    true_ratios = _default_ratios(true_ratios)
+    estimated_ratios = _default_ratios(estimated_ratios)
+    return ScenarioSpec(
+        name="fig08",
+        description="MPO cost-model validation for Queries 1 and 2",
+        algorithms=("innet-cmpg",),
+        data={"ratio": true_ratios[0], "sigma_st": 0.05},
+        grid={"workload": [{"query": "query1", "sigma_st": 0.05},
+                           {"query": "query2", "sigma_st": 0.10}],
+              "true_ratio": list(true_ratios),
+              "assumed_ratio": list(estimated_ratios)},
+        workload_seed_base=200,
+    )
+
+
+def _estimate_sensitivity_rows(sweep, algorithm: str) -> List[Dict[str, object]]:
+    """Figure 4/8-style rows: per true ratio, which estimate ran cheapest."""
+    per_true: Dict[tuple, List[tuple]] = {}
+    for group in sweep.groups:
+        query = group.setting.get("query")
+        key = (query, group.setting["true_ratio"])
+        mean = group.aggregates[algorithm].mean("total_traffic")
+        per_true.setdefault(key, []).append((group.setting["assumed_ratio"], mean))
     rows: List[Dict[str, object]] = []
-    for true_label in true_ratios:
-        actual = _selectivities(true_label, sigma_st)
-        query = query_builder(**(query_kwargs or {}))
-        per_estimate: Dict[str, float] = {}
-        for estimate_label in estimated_ratios:
-            assumed = _selectivities(estimate_label, sigma_st)
-            totals = []
-            for run_index in range(scale.runs):
-                data_source = build_workload(topology, query, actual, seed=200 + run_index)
-                result = run_single(
-                    query, topology, data_source, algorithm, assumed,
-                    cycles=scale.cycles, seed=run_index,
-                )
-                totals.append(result.report.total_traffic)
-            per_estimate[estimate_label] = sum(totals) / len(totals)
-        best_estimate = min(per_estimate, key=per_estimate.get)
-        for estimate_label, traffic in per_estimate.items():
-            rows.append({
+    for (query, true_label), entries in per_true.items():
+        best_estimate = min(entries, key=lambda entry: entry[1])[0]
+        for estimate_label, traffic in entries:
+            row: Dict[str, object] = {
                 "true_ratio": true_label,
                 "estimated_ratio": estimate_label,
                 "is_true_estimate": estimate_label == true_label,
                 "total_traffic_kb": traffic / 1000.0,
                 "best_estimate": best_estimate,
-            })
+            }
+            if query is not None:
+                row["query"] = query
+            rows.append(row)
     return rows
 
 
 def fig04_costmodel_query0(scale: Optional[ExperimentScale] = None,
                            true_ratios: Optional[Sequence[str]] = None,
                            estimated_ratios: Optional[Sequence[str]] = None,
+                           runner: Optional[SweepRunner] = None,
                            ) -> List[Dict[str, object]]:
     """Figure 4: pairwise cost model validation on the 1:1 Query 0.
 
@@ -180,57 +231,56 @@ def fig04_costmodel_query0(scale: Optional[ExperimentScale] = None,
     bar should be the lowest in each group.
     """
     scale = scale or scale_from_env()
-    return _estimate_sensitivity(
-        lambda **kw: build_query0(num_nodes=scale.num_nodes, seed=1, **kw),
-        algorithm="innet",
-        sigma_st=0.20,
-        scale=scale,
-        true_ratios=true_ratios,
-        estimated_ratios=estimated_ratios,
+    sweep = (runner or SweepRunner()).run(
+        fig04_scenario(true_ratios, estimated_ratios), scale
     )
+    return _estimate_sensitivity_rows(sweep, "innet")
 
 
 def fig08_mpo_costmodel(scale: Optional[ExperimentScale] = None,
                         true_ratios: Optional[Sequence[str]] = None,
                         estimated_ratios: Optional[Sequence[str]] = None,
+                        runner: Optional[SweepRunner] = None,
                         ) -> List[Dict[str, object]]:
     """Figure 8: MPO cost-model validation for Query 1 (5 %) and Query 2 (10 %)."""
-    rows: List[Dict[str, object]] = []
-    for query_name, builder, sigma_st in (
-        ("query1", build_query1, 0.05),
-        ("query2", build_query2, 0.10),
-    ):
-        for row in _estimate_sensitivity(
-            builder, algorithm="innet-cmpg", sigma_st=sigma_st, scale=scale,
-            true_ratios=true_ratios, estimated_ratios=estimated_ratios,
-        ):
-            row["query"] = query_name
-            rows.append(row)
-    return rows
+    scale = scale or scale_from_env()
+    sweep = (runner or SweepRunner()).run(
+        fig08_scenario(true_ratios, estimated_ratios), scale
+    )
+    return _estimate_sensitivity_rows(sweep, "innet-cmpg")
 
 
 # ---------------------------------------------------------------------------
 # Figure 5: load distribution of the most loaded nodes
 # ---------------------------------------------------------------------------
 
-def fig05_load_distribution(scale: Optional[ExperimentScale] = None,
-                            algorithms: Optional[Sequence[str]] = None,
-                            top_k: int = 15) -> List[Dict[str, object]]:
-    """Figure 5: per-node load of the 15 most loaded nodes, Query 1."""
-    scale = scale or scale_from_env()
+def fig05_scenario(algorithms: Optional[Sequence[str]] = None) -> ScenarioSpec:
+    """The declarative Figure 5 run set: one run per algorithm, Query 1."""
     algorithms = list(algorithms or ["naive", "base", "innet", "innet-cm",
                                      "innet-cmg", "innet-cmp", "innet-cmpg"])
-    selectivities = Selectivities(0.5, 0.5, 0.2)
-    topology = build_topology(scale, preset="moderate", seed=0)
-    query = build_query1()
+    return ScenarioSpec(
+        name="fig05",
+        description="per-node load of the most loaded nodes (Query 1)",
+        query="query1",
+        algorithms=tuple(algorithms),
+        data={"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": 0.2},
+        runs=1,
+        workload_seed_base=300,
+    )
+
+
+def fig05_load_distribution(scale: Optional[ExperimentScale] = None,
+                            algorithms: Optional[Sequence[str]] = None,
+                            top_k: int = 15,
+                            runner: Optional[SweepRunner] = None,
+                            ) -> List[Dict[str, object]]:
+    """Figure 5: per-node load of the 15 most loaded nodes, Query 1."""
+    scale = scale or scale_from_env()
+    sweep = (runner or SweepRunner()).run(fig05_scenario(algorithms), scale)
     rows: List[Dict[str, object]] = []
-    data_source = build_workload(topology, query, selectivities, seed=300)
-    for algorithm in algorithms:
-        result = run_single(
-            query, topology, data_source, algorithm, selectivities,
-            cycles=scale.cycles, seed=0,
-        )
-        for rank, (node_id, load) in enumerate(result.report.top_loaded_nodes[:top_k], 1):
+    for algorithm, aggregate in sweep.only().items():
+        report = aggregate.runs[0].report
+        for rank, (node_id, load) in enumerate(report.top_loaded_nodes[:top_k], 1):
             rows.append({
                 "algorithm": algorithm,
                 "rank": rank,
@@ -256,46 +306,143 @@ def _random_pairs(topology, count: int, seed: int = 0):
     return pairs
 
 
+@register_run_kind("initiation")
+def _run_initiation(spec: RunSpec):
+    """Measure one initiation scheme's traffic and latency (Figure 6)."""
+    params = spec.params_dict()
+    topology = build_topology(
+        None, preset=spec.topology_preset, seed=spec.topology_seed,
+        num_nodes=spec.num_nodes,
+    )
+    pairs = _random_pairs(topology, int(params.get("num_pairs", 10)),
+                          seed=int(params.get("pair_seed", 1)))
+    if spec.algorithm == "centralized":
+        involved = sorted({node for pair in pairs for node in pair})
+        simulator = NetworkSimulator(topology.copy())
+        result = centralized_initiation(topology, involved, simulator=simulator)
+        return measurement_report(
+            "initiation", "centralized",
+            total_traffic=result.total_traffic,
+            base_traffic=result.traffic_at_base,
+            latency_cycles=float(result.latency_cycles),
+        )
+    if spec.algorithm == "distributed":
+        simulator = NetworkSimulator(topology.copy())
+        substrate = MultiTreeSubstrate(
+            topology, num_trees=int(params.get("num_trees", 3))
+        )
+        sizes = MessageSizes()
+        for source, target in pairs:
+            route = substrate.best_route(source, target)
+            simulator.transfer(route, sizes.explore(len(route)), MessageKind.EXPLORE)
+            simulator.transfer(list(reversed(route)), sizes.explore(len(route)),
+                               MessageKind.EXPLORE_REPLY)
+        return measurement_report(
+            "initiation", "distributed",
+            total_traffic=simulator.stats.total(),
+            base_traffic=simulator.stats.at_base(topology.base_id),
+            latency_cycles=float(distributed_initiation_latency(topology, pairs)),
+        )
+    raise ValueError(f"unknown initiation scheme {spec.algorithm!r}")
+
+
+def fig06_scenario(num_pairs: int = 10) -> ScenarioSpec:
+    """The declarative Figure 6 comparison: one run per initiation scheme."""
+    return ScenarioSpec(
+        name="fig06",
+        kind="initiation",
+        description="centralized vs distributed initiation traffic/latency",
+        algorithms=("centralized", "distributed"),
+        runs=1,
+        params={"num_pairs": num_pairs, "pair_seed": 1},
+        metrics=("total_traffic", "base_traffic", "latency_cycles"),
+    )
+
+
 def fig06_centralized_vs_distributed(scale: Optional[ExperimentScale] = None,
-                                     num_pairs: int = 10) -> List[Dict[str, object]]:
+                                     num_pairs: int = 10,
+                                     runner: Optional[SweepRunner] = None,
+                                     ) -> List[Dict[str, object]]:
     """Figure 6: initiation traffic at the base and latency, centralized vs
     distributed optimization."""
     scale = scale or scale_from_env()
-    topology = build_topology(scale, preset="moderate", seed=0)
-    pairs = _random_pairs(topology, num_pairs, seed=1)
-    involved = sorted({node for pair in pairs for node in pair})
-
-    centralized_sim = NetworkSimulator(topology.copy())
-    centralized = centralized_initiation(topology, involved, simulator=centralized_sim)
-
-    distributed_sim = NetworkSimulator(topology.copy())
-    substrate = MultiTreeSubstrate(topology, num_trees=3)
-    sizes = MessageSizes()
-    for source, target in pairs:
-        route = substrate.best_route(source, target)
-        distributed_sim.transfer(route, sizes.explore(len(route)), MessageKind.EXPLORE)
-        distributed_sim.transfer(list(reversed(route)), sizes.explore(len(route)),
-                                 MessageKind.EXPLORE_REPLY)
-    distributed_latency = distributed_initiation_latency(topology, pairs)
-
+    sweep = (runner or SweepRunner()).run(fig06_scenario(num_pairs), scale)
     return [
         {
-            "scheme": "centralized",
-            "traffic_at_base_kb": centralized.traffic_at_base / 1000.0,
-            "total_traffic_kb": centralized.total_traffic / 1000.0,
-            "latency_cycles": centralized.latency_cycles,
-        },
-        {
-            "scheme": "distributed",
-            "traffic_at_base_kb": distributed_sim.stats.at_base(topology.base_id) / 1000.0,
-            "total_traffic_kb": distributed_sim.stats.total() / 1000.0,
-            "latency_cycles": distributed_latency,
-        },
+            "scheme": scheme,
+            "traffic_at_base_kb": aggregate.mean("base_traffic") / 1000.0,
+            "total_traffic_kb": aggregate.mean("total_traffic") / 1000.0,
+            "latency_cycles": aggregate.mean("latency_cycles"),
+        }
+        for scheme, aggregate in sweep.only().items()
     ]
 
 
+#: The Figure 7 workload settings: label -> (sigma_s, sigma_t, sigma_st).
+_FIG07_WORKLOADS = {
+    "paper(1,0,0)": (1.0, 0.0, 0.0),
+    "symmetric(1,1,0)": (1.0, 1.0, 0.0),
+}
+
+
+@register_run_kind("placement-quality")
+def _run_placement_quality(spec: RunSpec):
+    """Distributed join-node placement cost vs the global optimum (Figure 7)."""
+    params = spec.params_dict()
+    setting = spec.setting_dict()
+    num_nodes = _preset_num_nodes(spec.topology_preset, spec.num_nodes)
+    topology = build_topology(
+        None, preset=spec.topology_preset, seed=spec.topology_seed,
+        num_nodes=num_nodes,
+    )
+    pairs = _random_pairs(topology, int(params.get("num_pairs", 10)),
+                          seed=int(params.get("pair_seed", 2)))
+    substrate = MultiTreeSubstrate(
+        topology, num_trees=int(params.get("num_trees", 3))
+    )
+    sigma_s, sigma_t, sigma_st = _FIG07_WORKLOADS[setting["workload"]]
+    selectivities = Selectivities(sigma_s, sigma_t, sigma_st)
+    optimal = optimal_pair_placements(topology, pairs, selectivities, window_size=1)
+    optimal_cost = sum(cost for _, cost in optimal.values())
+    distributed_cost = 0.0
+    for source, target in pairs:
+        route = substrate.best_route(source, target)
+        pair_path = PairPath(
+            source=source, target=target, path=route,
+            hops_to_base=[substrate.hops_to_base(n) for n in route],
+        )
+        decision = place_join_node(
+            pair_path, selectivities, 1, substrate.path_to_base, topology.base_id
+        )
+        distributed_cost += decision.expected_cost
+    return measurement_report(
+        "placement", spec.algorithm,
+        optimal_cost=optimal_cost,
+        distributed_cost=distributed_cost,
+        overhead_percent=(100.0 * (distributed_cost - optimal_cost) / optimal_cost
+                          if optimal_cost else 0.0),
+    )
+
+
+def fig07_scenario(num_pairs: int = 10) -> ScenarioSpec:
+    """The declarative Figure 7 sweep: topologies x workload settings."""
+    return ScenarioSpec(
+        name="fig07",
+        kind="placement-quality",
+        description="distributed placement cost vs the global optimum",
+        algorithms=("distributed",),
+        runs=1,
+        grid={"topology_preset": ["dense", "medium", "moderate", "sparse", "grid"],
+              "workload": list(_FIG07_WORKLOADS)},
+        params={"num_pairs": num_pairs, "pair_seed": 2},
+        metrics=("optimal_cost", "distributed_cost", "overhead_percent"),
+    )
+
+
 def fig07_optimal_vs_distributed(scale: Optional[ExperimentScale] = None,
-                                 num_pairs: int = 10) -> List[Dict[str, object]]:
+                                 num_pairs: int = 10,
+                                 runner: Optional[SweepRunner] = None,
+                                 ) -> List[Dict[str, object]]:
     """Figure 7: expected computation traffic of the distributed placement vs
     the optimum computed with global knowledge, across the five topologies.
 
@@ -305,37 +452,17 @@ def fig07_optimal_vs_distributed(scale: Optional[ExperimentScale] = None,
     show the distributed scheme stays within a few percent of the optimum.
     """
     scale = scale or scale_from_env()
-    workloads = {
-        "paper(1,0,0)": Selectivities(1.0, 0.0, 0.0),
-        "symmetric(1,1,0)": Selectivities(1.0, 1.0, 0.0),
-    }
+    sweep = (runner or SweepRunner()).run(fig07_scenario(num_pairs), scale)
     rows: List[Dict[str, object]] = []
-    topologies = all_standard_topologies(num_nodes=scale.num_nodes, seed=0)
-    for name, topology in topologies.items():
-        pairs = _random_pairs(topology, num_pairs, seed=2)
-        substrate = MultiTreeSubstrate(topology, num_trees=3)
-        for workload_label, selectivities in workloads.items():
-            optimal = optimal_pair_placements(topology, pairs, selectivities, window_size=1)
-            optimal_cost = sum(cost for _, cost in optimal.values())
-            distributed_cost = 0.0
-            for source, target in pairs:
-                route = substrate.best_route(source, target)
-                pair_path = PairPath(
-                    source=source, target=target, path=route,
-                    hops_to_base=[substrate.hops_to_base(n) for n in route],
-                )
-                decision = place_join_node(
-                    pair_path, selectivities, 1, substrate.path_to_base, topology.base_id
-                )
-                distributed_cost += decision.expected_cost
-            rows.append({
-                "topology": name,
-                "workload": workload_label,
-                "optimal_cost": optimal_cost,
-                "distributed_cost": distributed_cost,
-                "overhead_percent": 100.0 * (distributed_cost - optimal_cost)
-                / optimal_cost if optimal_cost else 0.0,
-            })
+    for group in sweep.groups:
+        aggregate = group.aggregates["distributed"]
+        rows.append({
+            "topology": group.setting["topology_preset"],
+            "workload": group.setting["workload"],
+            "optimal_cost": aggregate.mean("optimal_cost"),
+            "distributed_cost": aggregate.mean("distributed_cost"),
+            "overhead_percent": aggregate.mean("overhead_percent"),
+        })
     return rows
 
 
@@ -343,32 +470,53 @@ def fig07_optimal_vs_distributed(scale: Optional[ExperimentScale] = None,
 # Figure 9: MPO contribution breakdown
 # ---------------------------------------------------------------------------
 
+def fig09a_scenario(durations: Optional[Sequence[int]] = None,
+                    algorithms: Optional[Sequence[str]] = None) -> ScenarioSpec:
+    """The declarative Figure 9a sweep: total traffic vs query duration.
+
+    With explicit *durations* the cycles axis is exact; without, the
+    scale-relative ``cycles_factor`` axis sweeps 0.5x/1x/2x the scale's
+    cycle count (the bespoke figure additionally floored the step at 10
+    cycles, which only matters at smoke scale).
+    """
+    algorithms = list(algorithms or ["naive", "base", "ght", "innet", "innet-cm",
+                                     "innet-cmg", "innet-cmpg"])
+    grid: Dict[str, Sequence[object]] = (
+        {"cycles": list(durations)} if durations is not None
+        else {"cycles_factor": [0.5, 1.0, 2.0]}
+    )
+    return ScenarioSpec(
+        name="fig09a",
+        description="total traffic against query duration (Query 2)",
+        query="query2",
+        algorithms=tuple(algorithms),
+        data={"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": 0.1},
+        grid=grid,
+        runs=1,
+        workload_seed_base=400,
+    )
+
+
 def fig09a_method_vs_duration(scale: Optional[ExperimentScale] = None,
                               durations: Optional[Sequence[int]] = None,
                               algorithms: Optional[Sequence[str]] = None,
+                              runner: Optional[SweepRunner] = None,
                               ) -> List[Dict[str, object]]:
     """Figure 9a: total traffic against query duration, Query 2."""
     scale = scale or scale_from_env()
-    algorithms = list(algorithms or ["naive", "base", "ght", "innet", "innet-cm",
-                                     "innet-cmg", "innet-cmpg"])
     if durations is None:
         step = max(10, scale.cycles // 2)
         durations = [step, 2 * step, 4 * step]
-    selectivities = Selectivities(0.5, 0.5, 0.1)
+    sweep = (runner or SweepRunner()).run(
+        fig09a_scenario(durations, algorithms), scale
+    )
     rows: List[Dict[str, object]] = []
-    topology = build_topology(scale, preset="moderate", seed=0)
-    query = build_query2()
-    for duration in durations:
-        data_source = build_workload(topology, query, selectivities, seed=400)
-        for algorithm in algorithms:
-            result = run_single(
-                query, topology, data_source, algorithm, selectivities,
-                cycles=duration, seed=0,
-            )
+    for group in sweep.groups:
+        for algorithm, aggregate in group.aggregates.items():
             rows.append({
-                "cycles": duration,
+                "cycles": group.setting["cycles"],
                 "algorithm": algorithm,
-                "total_traffic_kb": result.report.total_traffic / 1000.0,
+                "total_traffic_kb": aggregate.mean("total_traffic") / 1000.0,
             })
     return rows
 

@@ -9,6 +9,12 @@ Built-ins are factories (zero-argument callables returning a
 :class:`~repro.engine.spec.ScenarioSpec`) so a scenario's run counts and
 cycle lengths stay scale-relative: the runner resolves them against the
 ``--scale`` / ``REPRO_SCALE`` preset at expansion time.
+
+Importing this module also registers the figure modules' run kinds, query
+builders, workload sources and assumed-selectivity providers -- the engine
+lazily imports it (``repro.engine.registry.load_experiment_registrations``)
+whenever a registry lookup misses, so worker processes resolve everything no
+matter which package they imported first.
 """
 
 from __future__ import annotations
@@ -17,14 +23,90 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Tuple, Union
 
 from repro.engine import ScenarioSpec, load_scenario_file
-from repro.experiments.figures_joins import fig09b_scenario, query_traffic_scenario
-from repro.experiments.figures_substrate import mesh_query_scenario
+from repro.experiments.figures_adaptive import (
+    fig10_scenario,
+    fig11_scenario,
+    fig12a_scenario,
+    fig12b_scenario,
+    fig13_scenario,
+    fig14_scenario,
+)
+from repro.experiments.figures_joins import (
+    fig04_scenario,
+    fig05_scenario,
+    fig06_scenario,
+    fig07_scenario,
+    fig08_scenario,
+    fig09a_scenario,
+    fig09b_scenario,
+    query_traffic_scenario,
+)
+from repro.experiments.figures_substrate import (
+    appg_scenario,
+    fig18_scenario,
+    mesh_query_scenario,
+    path_quality_scenario,
+    table3_scenario,
+)
 
 #: Default location of file-based scenarios, relative to the working tree.
 DEFAULT_SCENARIO_DIR = Path("examples/scenarios")
 
 _SMOKE_RATIOS = ["1/10:1", "1/2:1/2", "1:1/10"]
 _SMOKE_JOIN_SELECTIVITIES = [0.20, 0.05]
+
+
+def _ablation_threshold_scenario() -> ScenarioSpec:
+    """Ablation: the adaptive re-optimization divergence threshold.
+
+    Section 6 fixes the threshold at 33 %; this sweeps it under wrong initial
+    estimates (actual 0.1:1.0 while the optimizer assumes 1.0:0.1).
+    """
+    assumed = {"sigma_s": 1.0, "sigma_t": 0.1, "sigma_st": 0.05}
+    variants = [{"label": "no learning", "algorithm": "innet-cmpg"}]
+    for threshold in (0.10, 0.33, 1.00):
+        variants.append({
+            "label": f"{threshold:.2f}",
+            "algorithm": "innet-learn",
+            "strategy_kwargs": {"adaptive_policy": {
+                "divergence_threshold": threshold,
+                "check_interval": 10, "min_cycles": 10,
+            }},
+        })
+    return ScenarioSpec(
+        name="ablation-threshold",
+        description="adaptive divergence-threshold ablation (Query 1, "
+                    "wrong estimates)",
+        query="query1",
+        variants=tuple(variants),
+        data={"sigma_s": 0.1, "sigma_t": 1.0, "sigma_st": 0.05},
+        assumed=assumed,
+        use_long_cycles=True,
+        runs=1,
+        workload_seed_base=17,
+        metrics=("total_traffic", "reoptimizations"),
+    )
+
+
+def _ablation_trees_scenario() -> ScenarioSpec:
+    """Ablation: how many routing trees the Innet substrate maintains."""
+    return ScenarioSpec(
+        name="ablation-trees",
+        description="routing-tree count ablation for the Innet substrate "
+                    "(Query 2)",
+        query="query2",
+        variants=tuple(
+            {"label": f"{num_trees}-trees", "algorithm": "innet-cmg",
+             "strategy_kwargs": {"num_trees": num_trees}}
+            for num_trees in (1, 2, 3)
+        ),
+        data={"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": 0.05},
+        runs=1,
+        workload_seed_base=42,
+        metrics=("total_traffic", "initiation_traffic", "computation_traffic",
+                 "results_produced"),
+    )
+
 
 BUILTIN_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     "fig02": lambda: query_traffic_scenario("query1", "fig02"),
@@ -33,9 +115,30 @@ BUILTIN_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
         join_selectivities=_SMOKE_JOIN_SELECTIVITIES,
     ),
     "fig03": lambda: query_traffic_scenario("query2", "fig03"),
+    "fig04": fig04_scenario,
+    "fig05": fig05_scenario,
+    "fig06": fig06_scenario,
+    "fig07": fig07_scenario,
+    "fig08": fig08_scenario,
+    "fig09a": fig09a_scenario,
     "fig09b": lambda: fig09b_scenario(),
+    "fig10": fig10_scenario,
+    "fig11": fig11_scenario,
+    "fig12a": fig12a_scenario,
+    "fig12b": fig12b_scenario,
+    "fig13": lambda: fig13_scenario(),
+    "fig14": fig14_scenario,
+    "fig14-smoke": lambda: fig14_scenario().with_overrides(name="fig14-smoke"),
+    "fig16": lambda: path_quality_scenario("fig16", "gpsr"),
+    "fig17": lambda: path_quality_scenario("fig17", "dht"),
+    "fig18": fig18_scenario,
     "fig19": lambda: mesh_query_scenario("query1", "fig19"),
     "fig20": lambda: mesh_query_scenario("query2", "fig20"),
+    "table3": lambda: table3_scenario(),
+    "appg": appg_scenario,
+    "appg-smoke": lambda: appg_scenario(num_moves=2).with_overrides(name="appg-smoke"),
+    "ablation-threshold": _ablation_threshold_scenario,
+    "ablation-trees": _ablation_trees_scenario,
 }
 
 

@@ -92,14 +92,24 @@ class JoinExecutor:
         """Execute *cycles* sampling cycles (initiating first if needed)."""
         if cycles < 0:
             raise ValueError("cycles must be non-negative")
+        self.run_cycles(0, cycles)
+        return self.report(cycles)
+
+    def run_cycles(self, start_cycle: int, cycles: int) -> None:
+        """Execute sampling cycles [start_cycle, start_cycle + cycles).
+
+        The incremental entry point behind multi-phase runs: calling this
+        for consecutive ranges is identical to one :meth:`run` over the
+        whole span (there is no per-call state beyond the simulated one), so
+        phased executions can snapshot traffic between ranges.
+        """
         self.initiate()
-        for cycle in range(cycles):
+        for cycle in range(start_cycle, start_cycle + cycles):
             failed = self.failure_injector.apply(self.topology, cycle)
             if failed:
                 self.strategy.handle_failures(self.context, failed, cycle)
             self.strategy.execute_cycle(self.context, cycle)
             self.simulator.advance_sampling_cycle()
-        return self.report(cycles)
 
     # ------------------------------------------------------------------
     def report(self, cycles: int) -> ExecutionReport:

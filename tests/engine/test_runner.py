@@ -153,7 +153,7 @@ class TestWorkloadCaches:
         assert workload_cache_stats()["topologies"] > 0
         reset_workload_caches()
         assert workload_cache_stats() == {
-            "topologies": 0, "queries": 0, "data_sources": 0,
+            "topologies": 0, "queries": 0, "data_sources": 0, "providers": 0,
         }
 
     def test_inline_query_registrations_are_bounded(self):

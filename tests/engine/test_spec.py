@@ -149,3 +149,76 @@ class TestHashing:
         assert fig2_smoke_scenario().spec_hash() == fig2_smoke_scenario().spec_hash()
         assert (fig2_smoke_scenario().spec_hash()
                 != fig2_smoke_scenario(cycles=3).spec_hash())
+
+
+class TestScaleFromEnv:
+    def test_blank_env_means_default(self, monkeypatch):
+        from repro.engine import scale_from_env
+
+        monkeypatch.setenv("REPRO_SCALE", "   ")
+        assert scale_from_env().name == "default"
+
+    def test_unknown_env_rejected_with_preset_list(self, monkeypatch):
+        from repro.engine import scale_from_env
+
+        monkeypatch.setenv("REPRO_SCALE", "warp")
+        with pytest.raises(KeyError, match="warp"):
+            scale_from_env()
+
+    def test_resolve_scale_case_insensitive(self):
+        from repro.engine import resolve_scale
+
+        assert resolve_scale("SMOKE").name == "smoke"
+        with pytest.raises(KeyError, match="expected one of"):
+            resolve_scale("warp")
+
+
+class TestCompositeAndVariantAxes:
+    def test_composite_axis_flattens_joint_overrides(self):
+        scenario = fig2_smoke_scenario(grid={
+            "workload": [{"query": "query1", "sigma_st": 0.05},
+                         {"query": "query2", "sigma_st": 0.10}],
+        })
+        specs = scenario.expand(SMOKE)
+        settings = {(s.query, s.sigma_st) for s in specs}
+        assert settings == {("query1", 0.05), ("query2", 0.10)}
+
+    def test_composite_axis_rejects_unknown_keys_for_join_kind(self):
+        with pytest.raises(ValueError, match="composite grid axis"):
+            fig2_smoke_scenario(grid={"workload": [{"quarks": 3}]})
+
+    def test_true_and_assumed_ratio_axes_are_independent(self):
+        scenario = fig2_smoke_scenario(
+            algorithms=("innet",),
+            grid={"true_ratio": ["1/10:1"], "assumed_ratio": ["1:1/10"]},
+        )
+        spec = scenario.expand(SMOKE)[0]
+        assert (spec.sigma_s, spec.sigma_t) == (0.1, 1.0)
+        assert (spec.assumed_sigma_s, spec.assumed_sigma_t) == (1.0, 0.1)
+
+    def test_variants_replace_algorithm_expansion(self):
+        scenario = fig2_smoke_scenario(
+            grid={},
+            variants=(
+                {"label": "plain", "algorithm": "naive"},
+                {"label": "half", "algorithm": "naive",
+                 "cycles_span": (0.0, 0.5), "workload_seed_offset": 3},
+            ),
+        )
+        specs = scenario.expand(SMOKE)
+        assert [s.display_label for s in specs] == ["plain", "half"]
+        assert specs[1].cycles == SMOKE.cycles // 2
+        assert specs[1].workload_seed == specs[0].workload_seed + 3
+
+    def test_unknown_variant_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown variant field"):
+            fig2_smoke_scenario(variants=({"label": "x", "quarks": 1},))
+
+    def test_cycles_factor_scales_resolved_cycles(self):
+        scenario = fig2_smoke_scenario(grid={"cycles_factor": [1, 2]})
+        specs = scenario.expand(SMOKE)
+        assert sorted({s.cycles for s in specs}) == [SMOKE.cycles, 2 * SMOKE.cycles]
+
+    def test_min_cycles_floor(self):
+        spec = fig2_smoke_scenario(grid={}, min_cycles=25).expand(SMOKE)[0]
+        assert spec.cycles == 25

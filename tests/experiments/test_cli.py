@@ -89,3 +89,73 @@ class TestScenarioCommands:
         assert main(["run-scenario", "fig99", "--scale", "smoke",
                      "--no-store"]) == 2
         assert "unknown scenario" in capsys.readouterr().err
+
+
+class TestRunnerPassThrough:
+    def test_every_builtin_figure_accepts_a_runner(self):
+        import inspect
+
+        for name, (_, function) in FIGURES.items():
+            assert "runner" in inspect.signature(function).parameters, name
+
+    def test_runner_less_figure_warns(self, capsys):
+        from repro.engine import SweepRunner
+        from repro.experiments import cli
+
+        def no_runner_figure(scale):
+            return [{"value": 1}]
+
+        cli.FIGURES["figtest"] = ("runner-less test figure", no_runner_figure)
+        try:
+            rows = run_figure("figtest", SCALES["smoke"],
+                              runner=SweepRunner(jobs=2))
+            assert rows == [{"value": 1}]
+            err = capsys.readouterr().err
+            assert "figtest" in err
+            assert "does not accept a sweep runner" in err
+        finally:
+            del cli.FIGURES["figtest"]
+
+    def test_runner_figures_do_not_warn(self, capsys):
+        from repro.engine import SweepRunner
+
+        run_figure("fig06", SCALES["smoke"], runner=SweepRunner(jobs=1))
+        assert capsys.readouterr().err == ""
+
+
+class TestEnvScaleHandling:
+    def test_env_scale_becomes_parser_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        assert build_parser().parse_args([]).scale == "smoke"
+
+    def test_empty_env_scale_means_default(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "")
+        assert build_parser().parse_args([]).scale == "default"
+
+    def test_unknown_env_scale_aborts_with_preset_list(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "galactic")
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args([])
+        assert "galactic" in str(excinfo.value)
+        assert "smoke" in str(excinfo.value)
+
+    def test_explicit_flag_beats_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "smoke")
+        args = build_parser().parse_args(["--scale", "default"])
+        assert args.scale == "default"
+
+
+class TestScenarioCoverage:
+    def test_every_figure_is_a_registered_scenario(self):
+        """Every cli.FIGURES entry must be runnable via run-scenario."""
+        from repro.experiments.scenarios import BUILTIN_SCENARIOS
+
+        for name in FIGURES:
+            assert name in BUILTIN_SCENARIOS, name
+
+    def test_run_scenario_multi_phase_builtin(self, capsys):
+        assert main(["run-scenario", "fig14-smoke", "--scale", "smoke",
+                     "--no-store"]) == 0
+        out = capsys.readouterr().out
+        assert "fig14-smoke" in out
+        assert "no_failure" in out and "with_failure" in out
