@@ -9,21 +9,33 @@ The engine splits an experiment sweep into three declarative layers:
   :class:`~repro.engine.spec.RunSpec` units.  Scenarios round-trip through
   JSON/TOML so they can be authored as files and run from the CLI.
 * **Execution layer** (:mod:`repro.engine.runner`,
-  :mod:`repro.engine.execution`) -- a
+  :mod:`repro.engine.execution`, :mod:`repro.engine.pool`) -- a
   :class:`~repro.engine.runner.SweepRunner` schedules RunSpecs over a serial
-  reference executor or a ``multiprocessing`` pool with worker-local bounded
-  caches (:mod:`repro.engine.workload`), streams reports back and aggregates
-  them with the paper's means and 95 % confidence intervals.
+  reference executor or a persistent :class:`~repro.engine.pool.WorkerPool`
+  (reused across sweeps, with an adaptive serial fallback when parallelism
+  cannot pay) with worker-local bounded caches
+  (:mod:`repro.engine.workload`), streams reports back and aggregates them
+  with the paper's means and 95 % confidence intervals.
 * **Persistence layer** (:mod:`repro.engine.store`) -- a SQLite/WAL
   :class:`~repro.engine.store.ResultStore` keyed by RunSpec content hash
-  makes sweeps resumable: completed runs are skipped on re-invocation.
+  makes sweeps resumable: results stream into the store in bounded flush
+  windows (:class:`~repro.engine.store.StreamingWriter`) as they arrive, so
+  an interrupt loses at most one window and completed runs are skipped on
+  re-invocation.
 
 Algorithms and query builders are referenced by name through the registries
 in :mod:`repro.engine.registry`; external code can plug in via the
 ``register_strategy`` / ``register_query_builder`` hooks.
 """
 
-from repro.engine.execution import execute_run, run_single
+from repro.engine.execution import execute_run, execute_run_entry, run_single
+from repro.engine.pool import (
+    WorkerPool,
+    effective_jobs,
+    shared_pool,
+    shutdown_shared_pools,
+    usable_cpus,
+)
 from repro.engine.registry import (
     FIGURE2_ALGORITHMS,
     MESH_ALGORITHMS,
@@ -52,7 +64,7 @@ from repro.engine.spec import (
     resolve_scale,
     scale_from_env,
 )
-from repro.engine.store import ResultStore
+from repro.engine.store import ResultStore, StreamingWriter
 from repro.engine.workload import (
     build_phased_workload,
     build_topology,
@@ -76,14 +88,18 @@ __all__ = [
     "STRATEGIES",
     "ScenarioSpec",
     "SettingResult",
+    "StreamingWriter",
     "SweepResult",
     "SweepRunner",
     "WORKLOAD_SOURCES",
+    "WorkerPool",
     "available_algorithms",
+    "effective_jobs",
     "build_phased_workload",
     "build_topology",
     "build_workload",
     "execute_run",
+    "execute_run_entry",
     "load_scenario_file",
     "make_query",
     "make_strategy",
@@ -97,5 +113,8 @@ __all__ = [
     "resolve_scale",
     "run_single",
     "scale_from_env",
+    "shared_pool",
+    "shutdown_shared_pools",
+    "usable_cpus",
     "workload_cache_stats",
 ]

@@ -349,3 +349,24 @@ def execute_run(spec: RunSpec) -> RunResult:
         report = kind_executor(spec)
         return RunResult(algorithm=spec.algorithm, seed=spec.seed, report=report)
     return _execute_join_run(spec)
+
+
+def execute_run_entry(spec: RunSpec):
+    """Top-level pool-worker entry point (must be picklable).
+
+    Returns the ``(spec, report)`` pair the streaming executor persists and
+    aggregates as results arrive.
+    """
+    return spec, execute_run(spec).report
+
+
+def initialize_worker() -> None:
+    """Pool-worker initializer: preload the experiment registrations.
+
+    Fork workers inherit them anyway; spawn workers would otherwise resolve
+    them lazily on the first registry miss, so loading them eagerly keeps the
+    first dispatched run from paying the import inside the timed region.
+    """
+    from repro.engine.registry import load_experiment_registrations
+
+    load_experiment_registrations()

@@ -35,6 +35,20 @@ from repro.joins.base import JoinStrategy
 from repro.query.query import JoinQuery
 
 
+#: Prefix of process-local ad-hoc query registrations (see resolve_query_name).
+_INLINE_PREFIX = "_inline/"
+
+#: Bumped on every durable (non-inline) registration.  Long-lived worker
+#: pools compare it against the generation they forked at and restart their
+#: workers when it moved, so late runtime registrations reach workers too.
+_REGISTRY_GENERATION = 0
+
+
+def registry_generation() -> int:
+    """Monotonic counter of durable registrations across all registries."""
+    return _REGISTRY_GENERATION
+
+
 class Registry:
     """A name -> builder mapping with a decorator-style registration hook."""
 
@@ -46,7 +60,12 @@ class Registry:
         """Register *builder* under *name*; usable directly or as a decorator."""
 
         def _register(fn: Callable) -> Callable:
+            global _REGISTRY_GENERATION
             self._builders[name] = fn
+            # inline ad-hoc registrations never cross process boundaries
+            # (their scenarios run serially), so they don't age a warm pool
+            if not name.startswith(_INLINE_PREFIX):
+                _REGISTRY_GENERATION += 1
             return fn
 
         if builder is not None:
@@ -155,7 +174,6 @@ MESH_ALGORITHMS = ["naive", "base", "dht", "innet-cmg"]
 QUERIES = Registry("query")
 register_query_builder = QUERIES.register
 
-_INLINE_PREFIX = "_inline/"
 _INLINE_MAX = 32
 _inline_counter = 0
 _inline_names: List[str] = []

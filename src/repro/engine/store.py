@@ -6,6 +6,12 @@ sweeps become resumable and interruptible.  The database uses WAL journaling
 (concurrent readers while the single writer -- the sweep driver process --
 appends) and ``synchronous=NORMAL``, the standard durable-enough setting for
 a derived-results cache.
+
+Crash safety comes from :class:`StreamingWriter`: the sweep executor hands it
+every ``(RunSpec, report)`` pair *as it arrives* and the writer commits the
+buffer whenever it holds ``flush_every`` results or ``flush_seconds`` have
+passed -- so an interrupt or worker crash loses at most one flush window,
+and a resumed invocation re-executes only the remainder.
 """
 
 from __future__ import annotations
@@ -55,6 +61,7 @@ class ResultStore:
         if self.path.parent and not self.path.parent.exists():
             self.path.parent.mkdir(parents=True, exist_ok=True)
         self._connection = sqlite3.connect(str(self.path))
+        self._closed = False
         self._connection.execute("PRAGMA journal_mode=WAL")
         self._connection.execute("PRAGMA synchronous=NORMAL")
         self._connection.execute("PRAGMA foreign_keys=ON")
@@ -62,8 +69,21 @@ class ResultStore:
         self._connection.commit()
 
     # -- context management -------------------------------------------------
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def flush(self) -> None:
+        """Commit any open transaction (put_many already commits per batch)."""
+        self._connection.commit()
+
     def close(self) -> None:
+        """Commit and release the SQLite connection (idempotent)."""
+        if self._closed:
+            return
+        self._connection.commit()
         self._connection.close()
+        self._closed = True
 
     def __enter__(self) -> "ResultStore":
         return self
@@ -159,3 +179,54 @@ class ResultStore:
 
     def journal_mode(self) -> str:
         return self._connection.execute("PRAGMA journal_mode").fetchone()[0]
+
+
+class StreamingWriter:
+    """Batches streamed ``(RunSpec, report)`` pairs into bounded store flushes.
+
+    ``add`` buffers a completed run and commits the buffer once it holds
+    ``flush_every`` results or ``flush_seconds`` have elapsed since the last
+    flush -- whichever comes first.  Callers flush in a ``finally`` (or use
+    the writer as a context manager), so even an abrupt interrupt persists
+    everything already streamed back: only results still in flight inside
+    workers -- at most one flush window -- can be lost.
+    """
+
+    def __init__(self, store: ResultStore, flush_every: int = 16,
+                 flush_seconds: float = 5.0) -> None:
+        if flush_every < 1:
+            raise ValueError("flush_every must be >= 1")
+        if flush_seconds <= 0:
+            raise ValueError("flush_seconds must be > 0")
+        self.store = store
+        self.flush_every = flush_every
+        self.flush_seconds = flush_seconds
+        self.written = 0
+        self.flushes = 0
+        self._buffer: List = []
+        self._last_flush = time.monotonic()
+
+    @property
+    def pending(self) -> int:
+        """Buffered results not yet committed to the store."""
+        return len(self._buffer)
+
+    def add(self, spec: RunSpec, report: ExecutionReport) -> None:
+        self._buffer.append((spec, report))
+        if (len(self._buffer) >= self.flush_every
+                or time.monotonic() - self._last_flush >= self.flush_seconds):
+            self.flush()
+
+    def flush(self) -> None:
+        """Commit the buffer in one transaction (no-op when empty)."""
+        if self._buffer:
+            self.written += self.store.put_many(self._buffer)
+            self._buffer.clear()
+            self.flushes += 1
+        self._last_flush = time.monotonic()
+
+    def __enter__(self) -> "StreamingWriter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.flush()

@@ -13,10 +13,19 @@ Scenario interface (the declarative engine)::
     python -m repro.experiments run-scenario examples/scenarios/fig02_smoke.json \\
         --store results.sqlite
 
-``run-scenario`` persists completed runs in a SQLite result store keyed by
-run-spec hash, so re-invoking the same sweep skips everything already done;
-pass ``--no-resume`` to force re-execution or ``--no-store`` to skip
-persistence entirely.  ``--jobs N`` fans runs out over N worker processes.
+Campaign interface (many scenarios, one pool, one store)::
+
+    python -m repro.experiments run-campaign 'fig*' --jobs 4 --store results.sqlite
+    python -m repro.experiments run-campaign --all --scale smoke
+
+``run-scenario`` and ``run-campaign`` persist completed runs in a SQLite
+result store keyed by run-spec hash *as they stream back from the workers*,
+so an interrupted invocation loses at most one flush window and re-invoking
+the same command resumes where it stopped; pass ``--no-resume`` to force
+re-execution or ``--no-store`` to skip persistence entirely.  ``--jobs N``
+fans runs out over a persistent pool of N worker processes shared by every
+sweep of the invocation (with an adaptive fallback to serial when
+parallelism cannot pay off).
 """
 
 from __future__ import annotations
@@ -24,13 +33,24 @@ from __future__ import annotations
 import argparse
 import inspect
 import sys
+import time
 from typing import Dict, List, Optional, Sequence
 
-from repro.engine import SweepRunner
+from repro.engine import SweepRunner, shutdown_shared_pools
 from repro.experiments import figures_adaptive, figures_joins, figures_substrate
 from repro.experiments.harness import SCALES, ExperimentScale, scale_from_env
-from repro.experiments.report import format_table, sweep_summary, sweep_to_rows
-from repro.experiments.scenarios import available_scenarios, resolve_scenario
+from repro.experiments.report import (
+    campaign_rows,
+    format_duration,
+    format_table,
+    sweep_summary,
+    sweep_to_rows,
+)
+from repro.experiments.scenarios import (
+    available_scenarios,
+    match_scenarios,
+    resolve_scenario,
+)
 
 #: Registry mapping a short figure id to (description, callable).
 FIGURES: Dict[str, tuple] = {
@@ -106,6 +126,13 @@ def _default_scale_name() -> str:
         raise SystemExit(f"error: {error.args[0]}") from None
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
 def _add_engine_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--jobs", "-j", type=int, default=1, metavar="N",
                         help="worker processes for sweep execution (default: 1, serial)")
@@ -115,11 +142,17 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                         help="do not persist results")
     parser.add_argument("--no-resume", action="store_true",
                         help="re-execute runs even if the store already has them")
+    parser.add_argument("--flush-every", type=_positive_int, default=16,
+                        metavar="K",
+                        help="persist streamed results every K completions "
+                             "(default: %(default)s); an interrupt loses at "
+                             "most one flush window")
 
 
 def _make_runner(args: argparse.Namespace) -> SweepRunner:
     store = None if args.no_store else args.store
-    return SweepRunner(jobs=args.jobs, store=store, resume=not args.no_resume)
+    return SweepRunner(jobs=args.jobs, store=store, resume=not args.no_resume,
+                       flush_every=args.flush_every)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -127,8 +160,9 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro.experiments",
         description="Regenerate figures of 'Dynamic Join Optimization in "
                     "Multi-Hop Wireless Sensor Networks'.",
-        epilog="Scenario subcommands: run-scenario, list-scenarios "
-               "(see 'run-scenario --help').",
+        epilog="Scenario subcommands: run-scenario, run-campaign, "
+               "list-scenarios (see 'run-scenario --help' / "
+               "'run-campaign --help').",
     )
     parser.add_argument("--figure", "-f", nargs="+", default=[],
                         help="figure id(s) to regenerate, e.g. fig02 fig13")
@@ -170,25 +204,138 @@ def build_list_scenarios_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_run_campaign_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.experiments run-campaign",
+        description="Execute many registered scenarios through one shared "
+                    "persistent worker pool and result store, with "
+                    "per-scenario progress/ETA and a final summary table.  "
+                    "Results stream into the store as they complete, so an "
+                    "interrupted campaign resumes where it stopped.",
+        epilog="Examples: run-campaign 'fig*' --jobs 4 --store results.sqlite"
+               " | run-campaign --all --scale smoke",
+    )
+    parser.add_argument("patterns", nargs="*", metavar="PATTERN",
+                        help="scenario name globs (quote them!), e.g. 'fig*' "
+                             "'table3', or scenario file paths")
+    parser.add_argument("--all", action="store_true", dest="run_all",
+                        help="run every built-in scenario")
+    parser.add_argument("--scale", "-s", choices=sorted(SCALES),
+                        default=_default_scale_name(),
+                        help="experiment scale preset (default: REPRO_SCALE "
+                             "or 'default')")
+    parser.add_argument("--quiet", "-q", action="store_true",
+                        help="suppress per-scenario progress lines")
+    _add_engine_options(parser)
+    return parser
+
+
+class _CampaignProgress:
+    """Throttled per-scenario progress/ETA lines on stderr."""
+
+    def __init__(self, scenario: str, index: int, count: int,
+                 min_interval: float = 0.5) -> None:
+        self.prefix = f"[{index}/{count}] {scenario}"
+        self.started = time.monotonic()
+        self.min_interval = min_interval
+        self._last_printed = 0.0
+
+    def __call__(self, done: int, total: int, spec) -> None:
+        now = time.monotonic()
+        if done < total and now - self._last_printed < self.min_interval:
+            return
+        self._last_printed = now
+        elapsed = now - self.started
+        eta = elapsed / done * (total - done) if done else 0.0
+        print(
+            f"{self.prefix}: {done}/{total} runs  "
+            f"elapsed {format_duration(elapsed)}  eta {format_duration(eta)}",
+            file=sys.stderr,
+        )
+
+
 def _cmd_run_scenario(argv: Sequence[str]) -> int:
     args = build_run_scenario_parser().parse_args(argv)
     scale = SCALES[args.scale]
-    runner = _make_runner(args)
     exit_code = 0
-    for name in args.scenario:
-        try:
-            scenario = resolve_scenario(name)
-        except (KeyError, ValueError) as error:
-            print(error, file=sys.stderr)
-            exit_code = 2
-            continue
-        sweep = runner.run(scenario, scale)
+    with _make_runner(args) as runner:
+        for name in args.scenario:
+            try:
+                scenario = resolve_scenario(name)
+            except (KeyError, ValueError) as error:
+                print(error, file=sys.stderr)
+                exit_code = 2
+                continue
+            sweep = runner.run(scenario, scale)
+            print(format_table(
+                sweep_to_rows(sweep),
+                title=f"{scenario.name} ({scale.name} scale)",
+            ))
+            print(sweep_summary(sweep))
+            print()
+    return exit_code
+
+
+def _cmd_run_campaign(argv: Sequence[str]) -> int:
+    args = build_run_campaign_parser().parse_args(argv)
+    if not args.patterns and not args.run_all:
+        print("run-campaign: give at least one scenario PATTERN or --all",
+              file=sys.stderr)
+        return 2
+    if args.patterns and args.run_all:
+        print("run-campaign: --all cannot be combined with PATTERNs "
+              "(it already selects every built-in scenario)", file=sys.stderr)
+        return 2
+    try:
+        names = match_scenarios(args.patterns, include_all=args.run_all)
+    except KeyError as error:
+        print(f"run-campaign: {error.args[0]}", file=sys.stderr)
+        return 2
+    scale = SCALES[args.scale]
+    summaries: List[dict] = []
+    exit_code = 0
+    runner = _make_runner(args)
+    try:
+        for index, name in enumerate(names, start=1):
+            try:
+                scenario = resolve_scenario(name)
+            except (KeyError, ValueError) as error:
+                print(error, file=sys.stderr)
+                exit_code = 2
+                continue
+            runner.progress = (None if args.quiet else
+                               _CampaignProgress(scenario.name, index, len(names)))
+            started = time.monotonic()
+            sweep = runner.run(scenario, scale)
+            seconds = time.monotonic() - started
+            print(format_table(
+                sweep_to_rows(sweep),
+                title=f"{scenario.name} ({scale.name} scale)",
+            ))
+            print(sweep_summary(sweep))
+            print()
+            summaries.append({
+                "scenario": scenario.name,
+                "runs": sweep.total_runs,
+                "executed": sweep.executed,
+                "from_store": sweep.from_store,
+                "groups": len(sweep.groups),
+                "seconds": seconds,
+            })
+    except KeyboardInterrupt:
+        # streamed results up to the last flush window are already in the
+        # store; the same invocation resumes exactly where it stopped
+        print("\nrun-campaign: interrupted -- completed runs are persisted; "
+              "re-run the same command to resume", file=sys.stderr)
+        exit_code = 130
+        shutdown_shared_pools()
+    finally:
+        runner.close()
+    if summaries:
         print(format_table(
-            sweep_to_rows(sweep),
-            title=f"{scenario.name} ({scale.name} scale)",
+            campaign_rows(summaries),
+            title=f"Campaign summary ({scale.name} scale, jobs={args.jobs})",
         ))
-        print(sweep_summary(sweep))
-        print()
     return exit_code
 
 
@@ -204,6 +351,7 @@ def _cmd_list_scenarios(argv: Sequence[str]) -> int:
 
 SUBCOMMANDS = {
     "run-scenario": _cmd_run_scenario,
+    "run-campaign": _cmd_run_campaign,
     "list-scenarios": _cmd_list_scenarios,
 }
 

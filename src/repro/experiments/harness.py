@@ -13,10 +13,11 @@ That recipe now lives in :mod:`repro.engine`:
   (expandable parameter grids, JSON/TOML round-tripping),
 * runs are frozen :class:`~repro.engine.spec.RunSpec` units scheduled by a
   :class:`~repro.engine.runner.SweepRunner` (serial reference executor or a
-  ``multiprocessing`` pool with worker-local bounded caches),
-* completed runs persist in a SQLite/WAL
-  :class:`~repro.engine.store.ResultStore` keyed by spec hash, so paper-scale
-  sweeps are resumable.
+  persistent :class:`~repro.engine.pool.WorkerPool` with worker-local
+  bounded caches and an adaptive serial fallback),
+* completed runs stream into a SQLite/WAL
+  :class:`~repro.engine.store.ResultStore` keyed by spec hash in bounded
+  flush windows, so paper-scale sweeps are interruptible and resumable.
 
 This module re-exports the engine's building blocks under their historical
 names -- ``build_topology``, ``build_workload``, ``run_single``,
@@ -201,5 +202,7 @@ def run_comparison(
         queue_capacity=queue_capacity,
         strategy_kwargs=strategy_kwargs,
     )
-    runner = SweepRunner(jobs=jobs, store=store, resume=resume)
-    return runner.run(scenario, scale).only()
+    # the runner owns (and closes) a store it constructs from a path;
+    # a ResultStore instance stays the caller's to close
+    with SweepRunner(jobs=jobs, store=store, resume=resume) as runner:
+        return runner.run(scenario, scale).only()

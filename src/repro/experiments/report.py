@@ -91,6 +91,50 @@ def sweep_summary(sweep: "SweepResult") -> str:
     )
 
 
+def format_duration(seconds: float) -> str:
+    """A compact human duration: ``4.2s``, ``1m03s``, ``2h05m``."""
+    if seconds < 0:
+        seconds = 0.0
+    if seconds < 60:
+        return f"{seconds:.1f}s"
+    minutes, secs = divmod(int(round(seconds)), 60)
+    if minutes < 60:
+        return f"{minutes}m{secs:02d}s"
+    hours, minutes = divmod(minutes, 60)
+    return f"{hours}h{minutes:02d}m"
+
+
+def campaign_rows(summaries: Sequence[Mapping[str, object]]) -> List[Dict[str, object]]:
+    """The campaign summary table: one row per scenario plus a total row.
+
+    Each summary is the per-scenario bookkeeping the campaign runner
+    collects: ``scenario``, ``runs``, ``executed``, ``from_store``,
+    ``groups`` (grid points) and ``seconds``.
+    """
+    rows: List[Dict[str, object]] = []
+    for summary in summaries:
+        rows.append({
+            "scenario": summary["scenario"],
+            "runs": summary["runs"],
+            "executed": summary["executed"],
+            "from_store": summary["from_store"],
+            "grid_points": summary["groups"],
+            "wall_clock": format_duration(float(summary["seconds"])),
+        })
+    if len(rows) > 1:
+        rows.append({
+            "scenario": "TOTAL",
+            "runs": sum(int(s["runs"]) for s in summaries),
+            "executed": sum(int(s["executed"]) for s in summaries),
+            "from_store": sum(int(s["from_store"]) for s in summaries),
+            "grid_points": sum(int(s["groups"]) for s in summaries),
+            "wall_clock": format_duration(
+                sum(float(s["seconds"]) for s in summaries)
+            ),
+        })
+    return rows
+
+
 def winner(results: Dict[str, "AggregateResult"], metric: str = "total_traffic") -> str:
     """The algorithm with the lowest mean value of *metric*."""
     return min(results, key=lambda name: results[name].mean(metric))

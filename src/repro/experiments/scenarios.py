@@ -19,8 +19,9 @@ matter which package they imported first.
 
 from __future__ import annotations
 
+from fnmatch import fnmatch
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Tuple, Union
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine import ScenarioSpec, load_scenario_file
 from repro.experiments.figures_adaptive import (
@@ -163,6 +164,46 @@ def available_scenarios(directory: Union[str, Path, None] = None
     entries = [(name, "built-in") for name in sorted(BUILTIN_SCENARIOS)]
     entries.extend((str(path), "file") for path in scenario_files(directory))
     return entries
+
+
+def match_scenarios(patterns: Sequence[str],
+                    directory: Union[str, Path, None] = None,
+                    include_all: bool = False) -> List[str]:
+    """Expand campaign patterns into a deduplicated, ordered scenario list.
+
+    Each pattern is a shell-style glob (``fig*``, ``*-smoke``) matched
+    against the built-in scenario names and the stems of scenario files in
+    *directory*; a pattern that is an existing file path is kept verbatim.
+    ``include_all`` selects every built-in scenario instead and must not be
+    combined with patterns (the CLI rejects the combination).  A pattern
+    matching nothing raises ``KeyError`` -- a campaign should fail loudly
+    rather than silently skip a misspelled figure.
+    """
+    builtins = sorted(BUILTIN_SCENARIOS)
+    files = {path.stem: path for path in scenario_files(directory)}
+    if include_all:
+        return list(builtins)
+    selected: List[str] = []
+
+    def _add(name: str) -> None:
+        if name not in selected:
+            selected.append(name)
+
+    for pattern in patterns:
+        matched = [name for name in builtins if fnmatch(name, pattern)]
+        for stem, path in sorted(files.items()):
+            if stem not in BUILTIN_SCENARIOS and fnmatch(stem, pattern):
+                matched.append(str(path))
+        if not matched and Path(pattern).exists():
+            matched = [pattern]
+        if not matched:
+            raise KeyError(
+                f"pattern {pattern!r} matches no scenario; known scenarios: "
+                f"{builtins + sorted(str(path) for path in files.values())}"
+            )
+        for name in matched:
+            _add(name)
+    return selected
 
 
 def resolve_scenario(name_or_path: str,

@@ -167,14 +167,14 @@ class TestPhasedSweeps:
     def test_fig14_parallel_equals_serial(self):
         scenario = resolve_scenario("fig14-smoke")
         serial = SweepRunner(jobs=1).run(scenario, SMOKE)
-        parallel = SweepRunner(jobs=2).run(scenario, SMOKE)
+        parallel = SweepRunner(jobs=2, adaptive=False).run(scenario, SMOKE)
         assert serial.executed == parallel.executed > 0
         assert _aggregate_table(serial) == _aggregate_table(parallel)
 
     def test_appg_parallel_equals_serial(self):
         scenario = resolve_scenario("appg-smoke")
         serial = SweepRunner(jobs=1).run(scenario, SMOKE)
-        parallel = SweepRunner(jobs=2).run(scenario, SMOKE)
+        parallel = SweepRunner(jobs=2, adaptive=False).run(scenario, SMOKE)
         assert serial.executed == parallel.executed > 0
         assert _aggregate_table(serial) == _aggregate_table(parallel)
 

@@ -46,15 +46,17 @@ def _aggregate_table(sweep):
 
 class TestParallelEqualsSerial:
     def test_fig2_smoke_aggregates_identical(self):
+        # adaptive=False forces the pool path even on single-CPU machines,
+        # so the parity claim is about actual cross-process execution
         scenario = fig2_smoke_sweep()
         serial = SweepRunner(jobs=1).run(scenario, SMOKE)
-        parallel = SweepRunner(jobs=2).run(scenario, SMOKE)
+        parallel = SweepRunner(jobs=2, adaptive=False).run(scenario, SMOKE)
         assert serial.executed == parallel.executed == 12
         # means AND CI95s must match the serial reference bit-for-bit
         assert _aggregate_table(serial) == _aggregate_table(parallel)
 
     def test_group_order_matches_grid_declaration(self):
-        sweep = SweepRunner(jobs=2).run(fig2_smoke_sweep(), SMOKE)
+        sweep = SweepRunner(jobs=2, adaptive=False).run(fig2_smoke_sweep(), SMOKE)
         assert [group.setting["sigma_st"] for group in sweep.groups] == [0.2, 0.05]
         for group in sweep.groups:
             assert list(group.aggregates) == ["naive", "base", "innet"]

@@ -1,6 +1,8 @@
-"""Tests for the SQLite result store."""
+"""Tests for the SQLite result store and the streaming batch writer."""
 
-from repro.engine import SCALES, ResultStore, ScenarioSpec, execute_run
+import pytest
+
+from repro.engine import SCALES, ResultStore, ScenarioSpec, StreamingWriter, execute_run
 from repro.engine.store import report_from_dict, report_to_dict
 
 SMOKE = SCALES["smoke"]
@@ -59,3 +61,67 @@ class TestResultStore:
     def test_report_dict_round_trip(self):
         report = execute_run(_one_spec()).report
         assert report_from_dict(report_to_dict(report)) == report
+
+    def test_close_is_idempotent(self, tmp_path):
+        store = ResultStore(tmp_path / "results.sqlite")
+        assert not store.closed
+        store.close()
+        store.close()
+        assert store.closed
+
+    def test_flush_commits(self, tmp_path):
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            store.flush()  # no open transaction: plain no-op commit
+
+
+class TestStreamingWriter:
+    def _spec_and_report(self):
+        spec = _one_spec()
+        return spec, execute_run(spec).report
+
+    def test_flushes_at_count_threshold(self, tmp_path):
+        spec, report = self._spec_and_report()
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            writer = StreamingWriter(store, flush_every=2, flush_seconds=1e9)
+            writer.add(spec, report)
+            assert (writer.pending, writer.written) == (1, 0)
+            assert spec.run_key() not in store
+            writer.add(spec, report)  # same key: INSERT OR REPLACE, 2 writes
+            assert (writer.pending, writer.written, writer.flushes) == (0, 2, 1)
+            assert spec.run_key() in store
+
+    def test_flushes_at_time_threshold(self, tmp_path, monkeypatch):
+        import repro.engine.store as store_module
+
+        clock = [0.0]
+        monkeypatch.setattr(store_module.time, "monotonic", lambda: clock[0])
+        spec, report = self._spec_and_report()
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            writer = StreamingWriter(store, flush_every=100, flush_seconds=5.0)
+            writer.add(spec, report)
+            assert writer.pending == 1
+            clock[0] = 6.0
+            writer.add(spec, report)
+            assert writer.pending == 0
+            assert writer.written == 2
+
+    def test_context_manager_flushes_remainder(self, tmp_path):
+        spec, report = self._spec_and_report()
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            with StreamingWriter(store, flush_every=100) as writer:
+                writer.add(spec, report)
+            assert writer.pending == 0
+            assert spec.run_key() in store
+
+    def test_empty_flush_is_a_noop(self, tmp_path):
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            writer = StreamingWriter(store)
+            writer.flush()
+            assert (writer.written, writer.flushes) == (0, 0)
+
+    def test_rejects_degenerate_windows(self, tmp_path):
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            with pytest.raises(ValueError, match="flush_every"):
+                StreamingWriter(store, flush_every=0)
+            with pytest.raises(ValueError, match="flush_seconds"):
+                StreamingWriter(store, flush_seconds=0)

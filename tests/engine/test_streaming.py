@@ -1,0 +1,180 @@
+"""Streaming persistence: flush windows, interrupt/resume, store ownership.
+
+The crash-safety contract under test: results are committed to the store in
+bounded flush windows *as they arrive*, so killing a sweep after K completed
+runs leaves at least ``K - flush_every`` of them persisted, and a resumed
+invocation re-executes only the remainder while producing aggregates
+bit-identical to an uninterrupted serial run.
+"""
+
+import sqlite3
+
+import pytest
+
+from repro.engine import (
+    SCALES,
+    ResultStore,
+    ScenarioSpec,
+    SweepRunner,
+    WorkerPool,
+)
+
+SMOKE = SCALES["smoke"]
+METRICS = ("total_traffic", "base_traffic", "max_node_load")
+
+
+def streaming_scenario(name="streaming-test"):
+    """12 runs over 2 grid points -- enough for several flush windows."""
+    return ScenarioSpec(
+        name=name,
+        query="query1",
+        algorithms=("naive", "base", "innet"),
+        data={"ratio": "1/2:1/2", "sigma_st": 0.2},
+        grid={"sigma_st": [0.2, 0.05]},
+        runs=2,
+        cycles=5,
+    )
+
+
+def _aggregate_table(sweep):
+    table = {}
+    for group in sweep.groups:
+        for algorithm, aggregate in group.aggregates.items():
+            key = (tuple(sorted(group.setting.items())), algorithm)
+            table[key] = {
+                metric: (aggregate.mean(metric), aggregate.confidence_95(metric))
+                for metric in METRICS
+            }
+    return table
+
+
+class _InterruptAfter:
+    """Progress callback that raises KeyboardInterrupt after K results,
+    mimicking a SIGINT landing mid-sweep."""
+
+    def __init__(self, after: int) -> None:
+        self.after = after
+        self.seen = 0
+
+    def __call__(self, done, total, spec) -> None:
+        self.seen += 1
+        if self.seen >= self.after:
+            raise KeyboardInterrupt
+
+
+class TestStreamingPersistence:
+    def test_parallel_streaming_matches_serial_aggregates(self, tmp_path):
+        scenario = streaming_scenario()
+        serial = SweepRunner(jobs=1).run(scenario, SMOKE)
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            with WorkerPool(2) as pool:
+                parallel = SweepRunner(jobs=2, pool=pool, adaptive=False,
+                                       store=store, flush_every=2).run(
+                    scenario, SMOKE)
+            assert parallel.executed == 12
+            assert store.scenario_run_count(scenario.name) == 12
+        assert _aggregate_table(serial) == _aggregate_table(parallel)
+
+    def test_results_stream_within_flush_window(self, tmp_path):
+        """At every progress call the store trails by less than one window."""
+        scenario = streaming_scenario()
+        store = ResultStore(tmp_path / "results.sqlite")
+        flush_every = 3
+        observed = []
+
+        def probe(done, total, spec):
+            observed.append((done, store.scenario_run_count(scenario.name)))
+
+        with store:
+            SweepRunner(store=store, flush_every=flush_every,
+                        progress=probe).run(scenario, SMOKE)
+            assert store.scenario_run_count(scenario.name) == 12
+        assert observed
+        for done, persisted in observed:
+            assert persisted >= done - flush_every
+
+    def test_interrupt_loses_at_most_one_flush_window(self, tmp_path):
+        """The SIGINT regression: kill after K runs, resume the remainder."""
+        scenario = streaming_scenario("streaming-interrupt")
+        kill_after, flush_every = 7, 3
+        reference = SweepRunner(jobs=1).run(scenario, SMOKE)
+
+        store = ResultStore(tmp_path / "results.sqlite")
+        with store:
+            interrupted = SweepRunner(
+                store=store, flush_every=flush_every,
+                progress=_InterruptAfter(kill_after),
+            )
+            with pytest.raises(KeyboardInterrupt):
+                interrupted.run(scenario, SMOKE)
+            persisted = store.scenario_run_count(scenario.name)
+            assert persisted >= kill_after - flush_every
+            assert persisted < 12
+
+            resumed = SweepRunner(store=store).run(scenario, SMOKE)
+        assert resumed.from_store == persisted
+        assert resumed.from_store >= kill_after - flush_every
+        assert resumed.executed == 12 - persisted
+        # resumed aggregates are bit-identical to the uninterrupted serial run
+        assert _aggregate_table(resumed) == _aggregate_table(reference)
+
+    def test_parallel_interrupt_then_serial_resume(self, tmp_path):
+        scenario = streaming_scenario("streaming-interrupt-parallel")
+        reference = SweepRunner(jobs=1).run(scenario, SMOKE)
+        store = ResultStore(tmp_path / "results.sqlite")
+        with store:
+            with WorkerPool(2) as pool:
+                interrupted = SweepRunner(
+                    jobs=2, pool=pool, adaptive=False, store=store,
+                    flush_every=2, progress=_InterruptAfter(5),
+                )
+                with pytest.raises(KeyboardInterrupt):
+                    interrupted.run(scenario, SMOKE)
+                # the abandoned dispatch must not leave workers grinding
+                # through the rest of the sweep in the background
+                assert not pool.started
+            persisted = store.scenario_run_count(scenario.name)
+            assert persisted >= 5 - 2
+            resumed = SweepRunner(store=store).run(scenario, SMOKE)
+        assert resumed.from_store == persisted
+        assert resumed.executed == 12 - persisted
+        assert _aggregate_table(resumed) == _aggregate_table(reference)
+
+    def test_resume_executes_zero_on_warm_store(self, tmp_path):
+        scenario = streaming_scenario("streaming-warm")
+        with ResultStore(tmp_path / "results.sqlite") as store:
+            SweepRunner(store=store).run(scenario, SMOKE)
+            warm = SweepRunner(store=store).run(scenario, SMOKE)
+        assert (warm.executed, warm.from_store) == (0, 12)
+
+
+class TestStoreOwnership:
+    def test_runner_closes_store_it_created_from_path(self, tmp_path):
+        path = tmp_path / "owned.sqlite"
+        scenario = streaming_scenario("ownership").with_overrides(
+            algorithms=("naive",), grid={}, runs=1,
+        )
+        with SweepRunner(store=path) as runner:
+            runner.run(scenario, SMOKE)
+            assert not runner.store.closed
+        assert runner.store.closed
+        with pytest.raises(sqlite3.ProgrammingError):
+            runner.store.scenarios()
+
+    def test_close_is_idempotent(self, tmp_path):
+        runner = SweepRunner(store=tmp_path / "owned.sqlite")
+        runner.close()
+        runner.close()
+        assert runner.store.closed
+
+    def test_explicit_store_stays_open(self, tmp_path):
+        with ResultStore(tmp_path / "shared.sqlite") as store:
+            with SweepRunner(store=store) as runner:
+                runner.run(streaming_scenario("shared").with_overrides(
+                    algorithms=("naive",), grid={}, runs=1), SMOKE)
+            assert not store.closed
+            assert store.scenarios() == ["shared"]
+
+    def test_storeless_runner_close_is_a_noop(self):
+        with SweepRunner() as runner:
+            assert runner.store is None

@@ -91,6 +91,93 @@ class TestScenarioCommands:
         assert "unknown scenario" in capsys.readouterr().err
 
 
+class TestRunCampaign:
+    @pytest.fixture()
+    def tiny_campaign(self):
+        """Two throwaway registered scenarios a glob can pick up together."""
+        from repro.engine import ScenarioSpec
+        from repro.experiments.scenarios import BUILTIN_SCENARIOS, register_scenario
+
+        def factory(name):
+            return lambda: ScenarioSpec(
+                name=name, query="query1", algorithms=("naive",),
+                data={"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": 0.2},
+                runs=1, cycles=3,
+            )
+
+        names = ("zcamp-a", "zcamp-b")
+        for name in names:
+            register_scenario(name, factory(name))
+        try:
+            yield names
+        finally:
+            for name in names:
+                BUILTIN_SCENARIOS.pop(name, None)
+
+    def test_glob_runs_matching_scenarios_through_one_store(
+            self, capsys, tmp_path, tiny_campaign):
+        store = tmp_path / "campaign.sqlite"
+        assert main(["run-campaign", "zcamp-*", "--scale", "smoke",
+                     "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "zcamp-a" in out and "zcamp-b" in out
+        assert "Campaign summary" in out
+        assert "TOTAL" in out
+        assert store.exists()
+        # resume on a warm store executes zero runs
+        assert main(["run-campaign", "zcamp-*", "--scale", "smoke",
+                     "--store", str(store), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("0 executed, 1 from the result store") == 2
+
+    def test_patterns_deduplicate(self, capsys, tmp_path, tiny_campaign):
+        assert main(["run-campaign", "zcamp-a", "zcamp-*", "--scale", "smoke",
+                     "--store", str(tmp_path / "c.sqlite"), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert out.count("scenario 'zcamp-a'") == 1
+
+    def test_no_pattern_errors(self, capsys):
+        assert main(["run-campaign", "--scale", "smoke"]) == 2
+        assert "PATTERN or --all" in capsys.readouterr().err
+
+    def test_all_with_patterns_errors(self, capsys):
+        assert main(["run-campaign", "fig02-smoke", "--all",
+                     "--scale", "smoke"]) == 2
+        assert "--all cannot be combined" in capsys.readouterr().err
+
+    def test_degenerate_flush_window_is_a_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run-campaign", "fig02-smoke", "--flush-every", "0"])
+        assert excinfo.value.code == 2
+        assert "must be >= 1" in capsys.readouterr().err
+
+    def test_unmatched_pattern_errors(self, capsys):
+        assert main(["run-campaign", "zz-no-such-*", "--scale", "smoke"]) == 2
+        assert "matches no scenario" in capsys.readouterr().err
+
+    def test_match_scenarios_all_and_files(self, tmp_path, tiny_campaign):
+        from repro.experiments.scenarios import (
+            BUILTIN_SCENARIOS,
+            match_scenarios,
+            resolve_scenario,
+        )
+
+        assert match_scenarios([], include_all=True) == sorted(BUILTIN_SCENARIOS)
+        assert match_scenarios(["fig0*"])[0].startswith("fig0")
+        # scenario files are matched by stem and returned as paths
+        path = tmp_path / "zfile-camp.json"
+        path.write_text(resolve_scenario("zcamp-a").with_overrides(
+            name="zfile-camp").to_json())
+        assert match_scenarios(["zfile-*"], directory=tmp_path) == [str(path)]
+
+    def test_progress_lines_report_eta(self, capsys, tmp_path, tiny_campaign):
+        assert main(["run-campaign", "zcamp-a", "--scale", "smoke",
+                     "--no-store"]) == 0
+        err = capsys.readouterr().err
+        assert "[1/1] zcamp-a" in err
+        assert "eta" in err
+
+
 class TestRunnerPassThrough:
     def test_every_builtin_figure_accepts_a_runner(self):
         import inspect
