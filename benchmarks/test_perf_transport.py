@@ -9,14 +9,17 @@ root so future PRs have a perf trajectory to compare against.
 
 import json
 import platform
+import time
 from pathlib import Path
 
 import pytest
 
+from repro.metrics import EnergySink, HotspotSink, MetricsPipeline
 from repro.network.links import lossy_links
 from repro.network.message import MessageKind
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import grid_topology, random_topology
+from repro.network.traffic import TrafficStats
 
 _RESULTS_PATH = Path(__file__).resolve().parent.parent / "BENCH_transport.json"
 _RESULTS = {}
@@ -85,6 +88,68 @@ def test_perf_transfer_lossy(benchmark, mesh):
 
     assert benchmark(run) > 0
     _record("transfer_heavy_lossy", benchmark)
+
+
+def _best_of(function, repeats=9):
+    """Minimum wall-clock of *repeats* invocations (the stable statistic)."""
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_perf_pipeline_overhead_guard(mesh):
+    """Pipeline with only the traffic sink adds <10% vs seed accounting.
+
+    The seed accounting path charged ``TrafficStats.charge_path`` directly;
+    the pipeline's single-listener dispatch binds the same bound method, so
+    the instrumented hot path must stay within 10 % of it (it is the same
+    call; the margin absorbs timer noise).  Recorded in
+    ``BENCH_transport.json`` alongside the transfer benchmarks.
+    """
+    base = mesh.base_id
+    paths = [mesh.shortest_path(node, base) for node in mesh.node_ids if node != base]
+
+    def charge_all(charge_path):
+        for _ in range(40):
+            for path in paths:
+                charge_path(path, 24, MessageKind.DATA)
+
+    direct = TrafficStats()
+    pipeline = MetricsPipeline([TrafficStats()])
+    # warm-up so both paths are compiled/cached before timing
+    charge_all(direct.charge_path)
+    charge_all(pipeline.charge_path)
+    seed_s = _best_of(lambda: charge_all(direct.charge_path))
+    piped_s = _best_of(lambda: charge_all(pipeline.charge_path))
+    overhead = piped_s / seed_s - 1.0
+    _RESULTS["pipeline_overhead_traffic_only"] = {
+        "seed_best_s": seed_s,
+        "pipeline_best_s": piped_s,
+        "overhead_fraction": overhead,
+    }
+    assert overhead < 0.10, (
+        f"metrics pipeline costs {overhead:.1%} over seed accounting "
+        f"({piped_s:.4f}s vs {seed_s:.4f}s)"
+    )
+
+
+def test_perf_transfer_instrumented(benchmark, mesh):
+    """Transfer throughput with the full sink set (perf trajectory only)."""
+    simulator = NetworkSimulator(mesh, sinks=[EnergySink(), HotspotSink()])
+    base = mesh.base_id
+    paths = [mesh.shortest_path(node, base) for node in mesh.node_ids if node != base]
+
+    def run():
+        for _ in range(10):
+            for path in paths:
+                simulator.transfer(path, 24, MessageKind.DATA)
+        return simulator.stats.messages_sent
+
+    assert benchmark(run) > 0
+    _record("transfer_heavy_instrumented", benchmark)
 
 
 def test_perf_shortest_path_heavy(benchmark, mote):

@@ -25,7 +25,10 @@ The engine splits an experiment sweep into three declarative layers:
 
 Algorithms and query builders are referenced by name through the registries
 in :mod:`repro.engine.registry`; external code can plug in via the
-``register_strategy`` / ``register_query_builder`` hooks.
+``register_strategy`` / ``register_query_builder`` hooks.  Instrumentation
+sinks (:mod:`repro.metrics`) are likewise referenced by preset name through a
+scenario's ``sinks`` knob; runs that enable them persist per-node series into
+the store's ``run_node_metrics`` table.
 """
 
 from repro.engine.execution import execute_run, execute_run_entry, run_single

@@ -59,12 +59,16 @@ def run_single(
     strategy_kwargs: Optional[Dict] = None,
     copy_topology: Optional[bool] = None,
     link_model: Optional[LinkModel] = None,
+    sinks: Optional[List] = None,
 ) -> RunResult:
     """One run of one algorithm.
 
     The topology (and its warmed PathCache) is shared across seeded runs:
     a copy is only taken when the run will mutate it, i.e. when a failure
     injector is present (``copy_topology`` overrides the auto-detection).
+    Instrumentation *sinks* (see :mod:`repro.metrics`) observe the run's
+    accounting events; their summaries land in the report's ``extra`` and
+    their per-node series in ``report.node_series``.
     """
     if copy_topology is None:
         copy_topology = failure_injector is not None and not failure_injector.is_empty()
@@ -80,6 +84,7 @@ def run_single(
         failure_injector=failure_injector,
         queue_capacity=queue_capacity,
         seed=seed,
+        sinks=sinks,
     )
     report = executor.run(cycles)
     return RunResult(algorithm=algorithm, seed=seed, report=report)
@@ -275,6 +280,7 @@ def _execute_join_run(spec: RunSpec) -> RunResult:
     if spec.link_loss is not None:
         link_model = lossy_links(spec.link_loss, seed=spec.link_seed)
     has_moves = any(phase.moves for phase in spec.phases)
+    sinks = _build_spec_sinks(spec)
     if not spec.phases:
         return run_single(
             query,
@@ -289,15 +295,26 @@ def _execute_join_run(spec: RunSpec) -> RunResult:
             queue_capacity=spec.queue_capacity,
             strategy_kwargs=_strategy_kwargs_from_spec(spec),
             link_model=link_model,
+            sinks=sinks,
         )
     return _run_phased(spec, query, topology, data_source, assumed,
                        injector, link_model, copy_topology=(
-                           injector is not None or has_moves))
+                           injector is not None or has_moves),
+                       sinks=sinks)
+
+
+def _build_spec_sinks(spec: RunSpec):
+    """Instantiate the instrumentation sinks a RunSpec opted into."""
+    if not spec.sinks:
+        return None
+    from repro.metrics import build_sinks
+
+    return build_sinks(spec.sink_entries())
 
 
 def _run_phased(spec: RunSpec, query: JoinQuery, topology: Topology,
                 data_source, assumed, injector, link_model,
-                copy_topology: bool) -> RunResult:
+                copy_topology: bool, sinks=None) -> RunResult:
     """Run resolved phases back to back on one executor.
 
     Chunking the cycle loop at phase boundaries changes no simulated state
@@ -319,6 +336,7 @@ def _run_phased(spec: RunSpec, query: JoinQuery, topology: Topology,
         failure_injector=injector,
         queue_capacity=spec.queue_capacity,
         seed=spec.seed,
+        sinks=sinks,
     )
     executor.initiate()
     extra: Dict[str, float] = {}
@@ -336,6 +354,11 @@ def _run_phased(spec: RunSpec, query: JoinQuery, topology: Topology,
         extra[f"phase_{phase.name}_cycles"] = float(phase.cycles)
         if phase.moves:
             extra[f"phase_{phase.name}_moves"] = float(moved)
+        if sinks:
+            # cumulative sink summaries at the phase boundary, so lifetime /
+            # hotspot trajectories are attributable to execution phases
+            for key, value in executor.simulator.pipeline.summaries().items():
+                extra[f"phase_{phase.name}_{key}"] = value
         cursor += phase.cycles
     report = executor.report(cursor)
     report.extra.update(extra)

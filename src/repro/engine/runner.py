@@ -76,16 +76,24 @@ class SweepResult:
 
     def rows(self, metrics: Optional[Sequence[str]] = None,
              to_kb: bool = True) -> List[Dict[str, object]]:
-        """Flatten into table rows: one per (grid point, algorithm)."""
+        """Flatten into table rows: one per (grid point, algorithm).
+
+        ``to_kb`` scales byte-denominated metrics (``*_traffic``,
+        ``*_load``) into KB columns with a ``_kb`` suffix; counters and
+        instrumentation metrics (reoptimizations, energy, Gini, latency)
+        keep their natural unit and name.
+        """
         metrics = list(metrics or self.scenario.metrics)
-        divisor = 1000.0 if to_kb else 1.0
-        suffix = "_kb" if to_kb else ""
         rows: List[Dict[str, object]] = []
         for group in self.groups:
             for algorithm, aggregate in group.aggregates.items():
                 row: Dict[str, object] = dict(group.setting)
                 row["algorithm"] = algorithm
                 for metric in metrics:
+                    scale = to_kb and (metric.endswith("_traffic")
+                                       or metric.endswith("_load"))
+                    divisor = 1000.0 if scale else 1.0
+                    suffix = "_kb" if scale else ""
                     row[f"{metric}{suffix}"] = aggregate.mean(metric) / divisor
                     row[f"{metric}_ci95{suffix}"] = aggregate.confidence_95(metric) / divisor
                 rows.append(row)

@@ -327,6 +327,10 @@ class RunSpec:
     workload_kwargs: FrozenMapping = ()
     assumed_source: Optional[str] = None         # registered selectivity provider
     assumed_kwargs: FrozenMapping = ()
+    #: Instrumentation sink presets (see repro.metrics): names or frozen
+    #: mappings with a "sink" key.  Excluded from the run key when empty, so
+    #: default-instrumented runs keep their pre-metrics content hash.
+    sinks: Tuple[Any, ...] = ()
 
     @property
     def data_selectivities(self) -> Selectivities:
@@ -349,6 +353,11 @@ class RunSpec:
     def params_dict(self) -> Dict[str, Any]:
         return thaw(self.params) if self.params else {}
 
+    def sink_entries(self) -> List[Any]:
+        """Thawed sink entries (names or kwargs mappings) for the builder."""
+        return [entry if isinstance(entry, str) else thaw(entry)
+                for entry in self.sinks]
+
     def to_dict(self) -> Dict[str, Any]:
         payload = asdict(self)
         for key in ("setting", "query_kwargs", "strategy_kwargs", "params",
@@ -356,6 +365,8 @@ class RunSpec:
             payload[key] = _jsonable(payload[key])
         payload["failures"] = [list(event) for event in self.failures]
         payload["phases"] = [phase.to_dict() for phase in self.phases]
+        payload["sinks"] = [entry if isinstance(entry, str) else _jsonable(entry)
+                            for entry in self.sinks]
         return payload
 
     @classmethod
@@ -370,18 +381,26 @@ class RunSpec:
         data["phases"] = tuple(
             PhaseSpec.from_dict(phase) for phase in data.get("phases") or ()
         )
+        data["sinks"] = tuple(
+            entry if isinstance(entry, str) else freeze(entry)
+            for entry in data.get("sinks") or ()
+        )
         return cls(**data)
 
     def run_key(self) -> str:
         """Content hash identifying this run in the result store."""
         payload = self.to_dict()
+        if not payload["sinks"]:
+            # instrumentation is off by default: leaving the empty knob out
+            # of the hash keeps every pre-metrics stored result addressable
+            del payload["sinks"]
         payload["engine_version"] = ENGINE_VERSION
         return content_hash(payload)
 
     def __hash__(self) -> int:  # dict-free fields only, all hashable
         return hash((self.scenario, self.setting, self.query, self.query_kwargs,
                      self.algorithm, self.run_index, self.seed, self.kind,
-                     self.label, self.phases))
+                     self.label, self.phases, self.sinks))
 
 
 # ---------------------------------------------------------------------------
@@ -392,7 +411,7 @@ class RunSpec:
 _FIELD_AXES = {
     "query", "query_kwargs", "cycles", "cycles_factor", "num_nodes",
     "topology_preset", "topology_seed", "queue_capacity", "link_loss",
-    "accounting",
+    "accounting", "sinks",
 }
 #: Grid axes with workload-specific handling.  ``ratio`` applies to both the
 #: data and the assumed selectivities; ``true_ratio`` to the data only and
@@ -404,6 +423,32 @@ _WORKLOAD_AXES = {"ratio", "true_ratio", "assumed_ratio",
 #: Keys a variant mapping may carry.
 _VARIANT_KEYS = {"label", "algorithm", "assumed", "strategy_kwargs", "phases",
                  "data", "workload_seed_offset", "cycles_span"}
+
+
+def _normalize_sink_entries(entries: Sequence[Any]) -> Tuple[Any, ...]:
+    """Sink entries as plain strings / dicts, shape-validated.
+
+    Preset *names* resolve at execution time (the data layer stays
+    import-light); the entry shape -- a string, or a mapping carrying a
+    ``sink`` key -- is checked here so malformed scenarios fail at authoring
+    time.
+    """
+    normalized: List[Any] = []
+    for entry in entries:
+        if isinstance(entry, str):
+            normalized.append(entry)
+        elif isinstance(entry, Mapping):
+            if "sink" not in entry:
+                raise ValueError(
+                    f"sink entry {dict(entry)!r} needs a 'sink' key naming "
+                    "a preset"
+                )
+            normalized.append(dict(entry))
+        else:
+            raise TypeError(
+                f"sink entry must be a preset name or a mapping, got {entry!r}"
+            )
+    return tuple(normalized)
 
 
 def _selectivity_config(config: Mapping[str, Any]) -> Dict[str, float]:
@@ -511,6 +556,14 @@ class ScenarioSpec:
     grid: Mapping[str, Sequence[Any]] = field(default_factory=dict)
     #: Kind-specific parameters passed through to the run-kind executor.
     params: Mapping[str, Any] = field(default_factory=dict)
+    #: Instrumentation sink presets attached to every run's simulator (see
+    #: :mod:`repro.metrics`): names (``"energy"``) or mappings with a
+    #: ``sink`` key plus builder kwargs (``{"sink": "energy",
+    #: "capacity_uj": 40000}``).  Empty = traffic accounting only; sinks are
+    #: observers, so traffic results are identical either way.  Only the
+    #: ``join`` run kind instruments its simulator; measurement kinds ignore
+    #: the knob.  Sweepable via a ``sinks`` grid axis.
+    sinks: Tuple[Any, ...] = ()
     metrics: Tuple[str, ...] = ("total_traffic", "base_traffic", "max_node_load")
     seed_base: int = 0
     workload_seed_base: int = 100
@@ -519,6 +572,7 @@ class ScenarioSpec:
     def __post_init__(self) -> None:
         object.__setattr__(self, "algorithms", tuple(self.algorithms))
         object.__setattr__(self, "metrics", tuple(self.metrics))
+        object.__setattr__(self, "sinks", _normalize_sink_entries(self.sinks))
         object.__setattr__(self, "failures", tuple(dict(f) for f in self.failures))
         object.__setattr__(self, "phases",
                            tuple(_coerce_phase(p) for p in self.phases))
@@ -568,6 +622,10 @@ class ScenarioSpec:
         payload["algorithms"] = list(self.algorithms)
         payload["variants"] = [_jsonable(dict(v)) for v in self.variants]
         payload["metrics"] = list(self.metrics)
+        payload["sinks"] = [
+            _jsonable(dict(entry)) if isinstance(entry, Mapping) else entry
+            for entry in self.sinks
+        ]
         payload["failures"] = [dict(f) for f in self.failures]
         payload["phases"] = [phase.to_dict() for phase in self.phases]
         return payload
@@ -585,7 +643,7 @@ class ScenarioSpec:
         for key in ("algorithms", "metrics"):
             if key in data and data[key] is not None:
                 data[key] = tuple(data[key])
-        for key in ("failures", "variants", "phases"):
+        for key in ("failures", "variants", "phases", "sinks"):
             if key in data and data[key] is not None:
                 data[key] = tuple(data[key])
         return cls(**data)
@@ -723,6 +781,9 @@ class ScenarioSpec:
         )
         workload_seed = (self.workload_seed_base + run_index
                          + int(variant.get("workload_seed_offset", 0)))
+        sink_entries = _normalize_sink_entries(
+            field_overrides.get("sinks", self.sinks)
+        )
         return RunSpec(
             scenario=self.name,
             setting=freeze(setting),
@@ -756,6 +817,10 @@ class ScenarioSpec:
             workload_kwargs=freeze(source_kwargs),
             assumed_source=assumed_source,
             assumed_kwargs=freeze(assumed_kwargs),
+            sinks=tuple(
+                entry if isinstance(entry, str) else freeze(entry)
+                for entry in sink_entries
+            ),
         )
 
 

@@ -12,6 +12,12 @@ every ``(RunSpec, report)`` pair *as it arrives* and the writer commits the
 buffer whenever it holds ``flush_every`` results or ``flush_seconds`` have
 passed -- so an interrupt or worker crash loses at most one flush window,
 and a resumed invocation re-executes only the remainder.
+
+Runs instrumented with metric sinks (see :mod:`repro.metrics`) additionally
+persist their per-node series -- per-node energy, per-node load -- into the
+normalized ``run_node_metrics`` table, queryable via
+:meth:`ResultStore.node_metrics` (or plain SQL) without decoding report
+JSON.
 """
 
 from __future__ import annotations
@@ -36,6 +42,18 @@ CREATE TABLE IF NOT EXISTS run_results (
     created_at  REAL NOT NULL
 );
 CREATE INDEX IF NOT EXISTS run_results_scenario ON run_results (scenario);
+CREATE TABLE IF NOT EXISTS run_node_metrics (
+    run_key   TEXT NOT NULL,
+    scenario  TEXT NOT NULL,
+    algorithm TEXT NOT NULL,
+    sink      TEXT NOT NULL,
+    series    TEXT NOT NULL,
+    node_id   INTEGER NOT NULL,
+    value     REAL NOT NULL,
+    PRIMARY KEY (run_key, sink, series, node_id)
+);
+CREATE INDEX IF NOT EXISTS run_node_metrics_scenario
+    ON run_node_metrics (scenario, series);
 """
 
 
@@ -50,7 +68,22 @@ def report_from_dict(payload: Dict) -> ExecutionReport:
     data["top_loaded_nodes"] = [
         (int(node), float(load)) for node, load in data.get("top_loaded_nodes", [])
     ]
+    # JSON stringifies the integer node ids of instrumentation series
+    data["node_series"] = {
+        key: {int(node): float(value) for node, value in mapping.items()}
+        for key, mapping in (data.get("node_series") or {}).items()
+    }
     return ExecutionReport(**data)
+
+
+def _node_metric_rows(run_key: str, spec: RunSpec, report: ExecutionReport):
+    """Normalized (per-node series) rows for the ``run_node_metrics`` table."""
+    for key, mapping in report.node_series.items():
+        sink, _, series = key.partition(".")
+        series = series or sink
+        for node_id, value in mapping.items():
+            yield (run_key, spec.scenario, spec.algorithm, sink, series,
+                   int(node_id), float(value))
 
 
 class ResultStore:
@@ -133,9 +166,52 @@ class ResultStore:
         ).fetchall()
         return [row[0] for row in rows]
 
+    # -- per-node instrumentation series ------------------------------------
+    def node_metrics(
+        self,
+        run_key: Optional[str] = None,
+        scenario: Optional[str] = None,
+        sink: Optional[str] = None,
+        series: Optional[str] = None,
+    ) -> List[Dict]:
+        """Per-node instrumentation rows matching the given filters.
+
+        Each row is ``{run_key, scenario, algorithm, sink, series, node_id,
+        value}`` -- the normalized form of every reporting sink's per-node
+        series (e.g. the energy sink's per-node ``energy_uj``).
+        """
+        clauses, params = [], []
+        for column, value in (("run_key", run_key), ("scenario", scenario),
+                              ("sink", sink), ("series", series)):
+            if value is not None:
+                clauses.append(f"{column} = ?")
+                params.append(value)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        rows = self._connection.execute(
+            "SELECT run_key, scenario, algorithm, sink, series, node_id, value "
+            f"FROM run_node_metrics{where} "
+            "ORDER BY scenario, algorithm, sink, series, node_id",
+            params,
+        ).fetchall()
+        keys = ("run_key", "scenario", "algorithm", "sink", "series",
+                "node_id", "value")
+        return [dict(zip(keys, row)) for row in rows]
+
+    def node_metrics_count(self, scenario: Optional[str] = None) -> int:
+        """How many per-node metric values the store holds."""
+        if scenario is None:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM run_node_metrics"
+            ).fetchone()
+        else:
+            row = self._connection.execute(
+                "SELECT COUNT(*) FROM run_node_metrics WHERE scenario = ?",
+                (scenario,),
+            ).fetchone()
+        return int(row[0])
+
     # -- writes -------------------------------------------------------------
-    def put(self, spec: RunSpec, report: ExecutionReport) -> str:
-        """Store (or overwrite) the report for *spec*; returns the run key."""
+    def _insert(self, spec: RunSpec, report: ExecutionReport) -> str:
         run_key = spec.run_key()
         self._connection.execute(
             "INSERT OR REPLACE INTO run_results "
@@ -151,6 +227,21 @@ class ResultStore:
                 time.time(),
             ),
         )
+        if report.node_series:
+            self._connection.execute(
+                "DELETE FROM run_node_metrics WHERE run_key = ?", (run_key,)
+            )
+            self._connection.executemany(
+                "INSERT INTO run_node_metrics "
+                "(run_key, scenario, algorithm, sink, series, node_id, value) "
+                "VALUES (?, ?, ?, ?, ?, ?, ?)",
+                _node_metric_rows(run_key, spec, report),
+            )
+        return run_key
+
+    def put(self, spec: RunSpec, report: ExecutionReport) -> str:
+        """Store (or overwrite) the report for *spec*; returns the run key."""
+        run_key = self._insert(spec, report)
         self._connection.commit()
         return run_key
 
@@ -159,21 +250,7 @@ class ResultStore:
         count = 0
         with self._connection:
             for spec, report in entries:
-                run_key = spec.run_key()
-                self._connection.execute(
-                    "INSERT OR REPLACE INTO run_results "
-                    "(run_key, scenario, algorithm, run_index, spec_json, report_json, created_at) "
-                    "VALUES (?, ?, ?, ?, ?, ?, ?)",
-                    (
-                        run_key,
-                        spec.scenario,
-                        spec.algorithm,
-                        spec.run_index,
-                        json.dumps(spec.to_dict(), sort_keys=True),
-                        json.dumps(report_to_dict(report), sort_keys=True),
-                        time.time(),
-                    ),
-                )
+                self._insert(spec, report)
                 count += 1
         return count
 

@@ -25,7 +25,10 @@ the same command resumes where it stopped; pass ``--no-resume`` to force
 re-execution or ``--no-store`` to skip persistence entirely.  ``--jobs N``
 fans runs out over a persistent pool of N worker processes shared by every
 sweep of the invocation (with an adaptive fallback to serial when
-parallelism cannot pay off).
+parallelism cannot pay off).  ``--metrics energy,hotspots`` (or ``all``)
+attaches instrumentation sinks (see :mod:`repro.metrics`) to every run:
+summaries are rendered after the sweep table and per-node series persist
+into the store's ``run_node_metrics`` table.
 """
 
 from __future__ import annotations
@@ -43,6 +46,9 @@ from repro.experiments.report import (
     campaign_rows,
     format_duration,
     format_table,
+    node_series_rows,
+    sink_summary_rows,
+    sweep_node_series_count,
     sweep_summary,
     sweep_to_rows,
 )
@@ -147,12 +153,76 @@ def _add_engine_options(parser: argparse.ArgumentParser) -> None:
                         help="persist streamed results every K completions "
                              "(default: %(default)s); an interrupt loses at "
                              "most one flush window")
+    parser.add_argument("--metrics", default=None, metavar="SINKS",
+                        help="comma-separated instrumentation sink presets "
+                             "(e.g. 'energy' or 'energy,hotspots' or 'all') "
+                             "attached to every run; summaries are rendered "
+                             "after the sweep table and per-node series are "
+                             "persisted in the store's run_node_metrics table")
 
 
 def _make_runner(args: argparse.Namespace) -> SweepRunner:
     store = None if args.no_store else args.store
     return SweepRunner(jobs=args.jobs, store=store, resume=not args.no_resume,
                        flush_every=args.flush_every)
+
+
+def _parse_metric_sinks(text: Optional[str]) -> tuple:
+    """Validate a ``--metrics`` value into a tuple of sink presets."""
+    if not text:
+        return ()
+    from repro.metrics import available_sink_presets, validate_sink_entries
+
+    names = tuple(name.strip() for name in text.split(",") if name.strip())
+    try:
+        validate_sink_entries(names)
+    except (KeyError, ValueError):
+        print(
+            f"error: unknown metrics sink in {text!r}; expected a "
+            f"comma-separated subset of {available_sink_presets()}",
+            file=sys.stderr,
+        )
+        raise SystemExit(2) from None
+    return names
+
+
+def _apply_metric_sinks(scenario, metric_sinks):
+    """Add the CLI-requested sinks to a scenario's own (order-preserving).
+
+    Augmenting instead of replacing keeps a scenario's declared metric
+    columns valid: ``--metrics energy`` on a scenario that already carries a
+    hotspot sink reports both.  Group presets (``all``) are expanded before
+    deduplication so no sink is ever instantiated twice.
+    """
+    if not metric_sinks:
+        return scenario
+    from repro.metrics import expand_sink_entries
+
+    def _name(entry):
+        return entry if isinstance(entry, str) else entry.get("sink")
+
+    existing = tuple(expand_sink_entries(scenario.sinks))
+    present = {_name(entry) for entry in existing}
+    added = []
+    for name in expand_sink_entries(metric_sinks):
+        if name not in present:       # also dedupes within the request
+            present.add(name)         # (e.g. --metrics all,energy)
+            added.append(name)
+    if not added:
+        return scenario
+    return scenario.with_overrides(sinks=existing + tuple(added))
+
+
+def _print_sink_tables(sweep) -> None:
+    """Render sink summaries and the per-node energy/load hotspots."""
+    summary_rows = sink_summary_rows(sweep)
+    if summary_rows:
+        print(format_table(summary_rows, title="Instrumentation summary"))
+    for series, label in (("energy.energy_uj", "Per-node energy (top 5, uJ)"),
+                          ("hotspot.load", "Per-node load (top 5)")):
+        rows = node_series_rows(sweep, series=series, top=5)
+        if rows:
+            print(format_table(rows, title=label))
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -257,6 +327,7 @@ class _CampaignProgress:
 def _cmd_run_scenario(argv: Sequence[str]) -> int:
     args = build_run_scenario_parser().parse_args(argv)
     scale = SCALES[args.scale]
+    metric_sinks = _parse_metric_sinks(args.metrics)
     exit_code = 0
     with _make_runner(args) as runner:
         for name in args.scenario:
@@ -266,11 +337,13 @@ def _cmd_run_scenario(argv: Sequence[str]) -> int:
                 print(error, file=sys.stderr)
                 exit_code = 2
                 continue
+            scenario = _apply_metric_sinks(scenario, metric_sinks)
             sweep = runner.run(scenario, scale)
             print(format_table(
                 sweep_to_rows(sweep),
                 title=f"{scenario.name} ({scale.name} scale)",
             ))
+            _print_sink_tables(sweep)
             print(sweep_summary(sweep))
             print()
     return exit_code
@@ -292,6 +365,7 @@ def _cmd_run_campaign(argv: Sequence[str]) -> int:
         print(f"run-campaign: {error.args[0]}", file=sys.stderr)
         return 2
     scale = SCALES[args.scale]
+    metric_sinks = _parse_metric_sinks(args.metrics)
     summaries: List[dict] = []
     exit_code = 0
     runner = _make_runner(args)
@@ -303,6 +377,7 @@ def _cmd_run_campaign(argv: Sequence[str]) -> int:
                 print(error, file=sys.stderr)
                 exit_code = 2
                 continue
+            scenario = _apply_metric_sinks(scenario, metric_sinks)
             runner.progress = (None if args.quiet else
                                _CampaignProgress(scenario.name, index, len(names)))
             started = time.monotonic()
@@ -312,6 +387,7 @@ def _cmd_run_campaign(argv: Sequence[str]) -> int:
                 sweep_to_rows(sweep),
                 title=f"{scenario.name} ({scale.name} scale)",
             ))
+            _print_sink_tables(sweep)
             print(sweep_summary(sweep))
             print()
             summaries.append({
@@ -321,6 +397,7 @@ def _cmd_run_campaign(argv: Sequence[str]) -> int:
                 "from_store": sweep.from_store,
                 "groups": len(sweep.groups),
                 "seconds": seconds,
+                "metric_values": sweep_node_series_count(sweep),
             })
     except KeyboardInterrupt:
         # streamed results up to the last flush window are already in the

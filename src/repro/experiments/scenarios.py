@@ -109,6 +109,54 @@ def _ablation_trees_scenario() -> ScenarioSpec:
     )
 
 
+def _energy_budget_scenario() -> ScenarioSpec:
+    """Energy-budget sweep: radio energy per strategy across the ratio ladder.
+
+    The paper argues communication cost *is* the energy budget; this scenario
+    makes that explicit by running the Figure 2 workload sweep with the
+    energy and hotspot sinks attached -- per-node tx/rx/idle energy, total
+    and peak spend, and the Gini load-balance coefficient per strategy.
+    """
+    return ScenarioSpec(
+        name="energy-budget",
+        description="per-node radio energy and load balance across "
+                    "strategies and selectivity ratios (Query 1)",
+        query="query1",
+        algorithms=("naive", "base", "innet-cmpg"),
+        data={"sigma_st": 0.2},
+        grid={"ratio": ["1/10:1", "1/2:1/2", "1:1/10"]},
+        sinks=("energy", "hotspots"),
+        metrics=("total_traffic", "energy_total_uj", "energy_max_uj",
+                 "hotspot_gini"),
+    )
+
+
+def _lifetime_under_load_scenario() -> ScenarioSpec:
+    """Network lifetime: first battery death as the sampling load climbs.
+
+    Every node starts with the same small battery; the energy sink records
+    the cycle at which the first non-base node exhausts it
+    (``energy_lifetime_cycles``; -1 = everyone survived the run).  Strategies
+    that balance relay load keep the network alive longer even at equal
+    total traffic -- the load-balance story of Figure 5 expressed as an
+    energy metric.
+    """
+    return ScenarioSpec(
+        name="lifetime-under-load",
+        description="first-node-death network lifetime under increasing "
+                    "producer load (Query 1, small batteries)",
+        query="query1",
+        algorithms=("base", "innet-cmpg"),
+        data={"sigma_st": 0.2},
+        grid={"ratio": ["1/10:1", "1/2:1/2", "1:1/10"]},
+        sinks=({"sink": "energy", "capacity_uj": 25_000.0},
+               "hotspots", "latency"),
+        use_long_cycles=True,
+        metrics=("total_traffic", "energy_lifetime_cycles",
+                 "energy_dead_nodes", "hotspot_max_load"),
+    )
+
+
 BUILTIN_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     "fig02": lambda: query_traffic_scenario("query1", "fig02"),
     "fig02-smoke": lambda: query_traffic_scenario(
@@ -140,6 +188,8 @@ BUILTIN_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     "appg-smoke": lambda: appg_scenario(num_moves=2).with_overrides(name="appg-smoke"),
     "ablation-threshold": _ablation_threshold_scenario,
     "ablation-trees": _ablation_trees_scenario,
+    "energy-budget": _energy_budget_scenario,
+    "lifetime-under-load": _lifetime_under_load_scenario,
 }
 
 

@@ -220,6 +220,10 @@ class ExecutionReport:
     join_nodes_used: int = 0
     storage_tuples_peak: int = 0
     extra: Dict[str, float] = field(default_factory=dict)
+    #: Per-node series from instrumentation sinks, keyed ``sink.series``
+    #: (e.g. ``energy.energy_uj``); persisted into the result store's
+    #: metrics table.  Empty unless the run enabled metric sinks.
+    node_series: Dict[str, Dict[int, float]] = field(default_factory=dict)
 
     def as_dict(self) -> Dict[str, Any]:
         """Flat dictionary used by the experiment harness and benches."""

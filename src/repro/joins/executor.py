@@ -9,7 +9,7 @@ per-node load, results produced/delivered, result delay and drops.
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Optional, Sequence
 
 from repro.core.cost_model import Selectivities
 from repro.joins.base import (
@@ -46,6 +46,7 @@ class JoinExecutor:
         failure_injector: Optional[FailureInjector] = None,
         charge_tree_construction: bool = False,
         seed: int = 0,
+        sinks: Optional[Sequence] = None,
     ) -> None:
         self.query = query
         self.topology = topology
@@ -59,6 +60,7 @@ class JoinExecutor:
             sizes=sizes,
             transmission_cycles_per_sample=query.sample_interval,
             queue_capacity=queue_capacity,
+            sinks=sinks,
         )
         self.context = ExecutionContext(
             query=query,
@@ -117,6 +119,10 @@ class JoinExecutor:
         total = stats.total()
         results = self.strategy.results
         reoptimizations = getattr(self.strategy, "reoptimizations", 0)
+        # Instrumentation-sink results: scalar summaries land in ``extra``
+        # and per-node series in ``node_series``; both are empty (preserving
+        # the historical report exactly) unless extra sinks were registered.
+        pipeline = self.simulator.pipeline
         return ExecutionReport(
             query_name=self.query.name,
             algorithm=self.strategy.name,
@@ -139,4 +145,6 @@ class JoinExecutor:
             reoptimizations=reoptimizations,
             join_nodes_used=self.strategy.join_nodes_used(),
             storage_tuples_peak=self.strategy.storage_peak,
+            extra=pipeline.summaries(),
+            node_series=pipeline.node_series(),
         )

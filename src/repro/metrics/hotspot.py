@@ -1,0 +1,130 @@
+"""Load-balance / hotspot sink (the Figure 5 per-node load view).
+
+Maintains a streaming per-node radio-load ledger (transmitted plus received
+units, mirroring ``TrafficStats.at_node``'s arithmetic exactly, including
+retransmission attempts) and derives the load-balance metrics the paper's
+hotspot discussion needs at summary time: the maximum node load, the ranked
+top-k (Figure 5's bar chart), and a Gini coefficient of the load distribution
+over battery-powered nodes -- 0 means perfectly balanced, values toward 1
+mean a few relay hotspots carry everything.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.metrics.pipeline import MetricsSink
+
+
+def gini_coefficient(values: List[float]) -> float:
+    """Gini coefficient of a non-negative load distribution (0 = balanced)."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    total = sum(ordered)
+    if total <= 0.0:
+        return 0.0
+    count = len(ordered)
+    weighted = 0.0
+    for rank, value in enumerate(ordered, start=1):
+        weighted += rank * value
+    return (2.0 * weighted) / (count * total) - (count + 1) / count
+
+
+class HotspotSink(MetricsSink):
+    """Streaming per-node load with top-k, max-load and Gini summaries."""
+
+    name = "hotspot"
+
+    def __init__(self, top_k: int = 15,
+                 bytes_per_unit: Optional[bool] = None) -> None:
+        self.top_k = top_k
+        #: Charge bytes (mote accounting) or one unit per message (mesh).
+        #: ``None`` (the default) adopts the simulator's accounting mode at
+        #: attach time; an explicit value always wins.
+        self.bytes_per_unit = bytes_per_unit if bytes_per_unit is not None else True
+        self._explicit_units = bytes_per_unit is not None
+        self.load: Dict[int, float] = defaultdict(float)
+        self._base_id: Optional[int] = None
+        self._nodes: Tuple[int, ...] = ()
+
+    # -- lifecycle ----------------------------------------------------------
+    def attach(self, simulator) -> None:
+        from repro.network.traffic import TrafficAccounting
+
+        if not self._explicit_units:
+            self.bytes_per_unit = (
+                simulator.stats.accounting is TrafficAccounting.BYTES
+            )
+        topology = simulator.topology
+        self._base_id = topology.base_id
+        self._nodes = tuple(topology.node_ids)
+        for node_id in self._nodes:
+            self.load.setdefault(node_id, 0.0)
+
+    def reset(self) -> None:
+        self.load.clear()
+        for node_id in self._nodes:
+            self.load[node_id] = 0.0
+
+    def _units(self, size_bytes) -> float:
+        return float(size_bytes) if self.bytes_per_unit else 1.0
+
+    # -- charge events ------------------------------------------------------
+    def charge_transmission(self, node_id, size_bytes, kind,
+                            attempts=1, receiver=None) -> None:
+        units = self._units(size_bytes)
+        self.load[node_id] += units * attempts
+        if receiver is not None:
+            self.load[receiver] += units
+
+    def charge_path(self, path, size_bytes, kind,
+                    attempts=None, num_hops=None) -> None:
+        hops = len(path) - 1 if num_hops is None else num_hops
+        if hops <= 0:
+            return
+        units = self._units(size_bytes)
+        load = self.load
+        if attempts is None:
+            for index in range(hops):
+                load[path[index]] += units
+                load[path[index + 1]] += units
+        else:
+            for index in range(hops):
+                load[path[index]] += units * int(attempts[index])
+                load[path[index + 1]] += units
+
+    def charge_broadcast(self, node_id, size_bytes, kind, receivers) -> None:
+        units = self._units(size_bytes)
+        self.load[node_id] += units
+        load = self.load
+        for receiver in receivers:
+            load[receiver] += units
+
+    # -- results ------------------------------------------------------------
+    def top(self, k: Optional[int] = None) -> List[Tuple[int, float]]:
+        """The *k* most loaded nodes, ordered by decreasing load."""
+        ranked = sorted(self.load.items(), key=lambda item: item[1], reverse=True)
+        return ranked[: (k if k is not None else self.top_k)]
+
+    def max_load(self) -> float:
+        return max(self.load.values(), default=0.0)
+
+    def gini(self) -> float:
+        """Load imbalance across battery-powered (non-base) nodes."""
+        return gini_coefficient([
+            load for node_id, load in self.load.items()
+            if node_id != self._base_id
+        ])
+
+    def summary(self) -> Dict[str, float]:
+        top = self.top(1)
+        return {
+            "hotspot_max_load": self.max_load(),
+            "hotspot_max_node": float(top[0][0]) if top else -1.0,
+            "hotspot_gini": self.gini(),
+        }
+
+    def node_series(self) -> Dict[str, Dict[int, float]]:
+        return {"load": dict(self.load)}

@@ -1,0 +1,179 @@
+"""The event-sink metrics pipeline behind every accounting charge point.
+
+The simulator's charge points (``charge_path`` / ``charge_transmission`` /
+``charge_broadcast`` / ``charge_drop``), its sampling-cycle ticks and its
+message deliveries all flow through one :class:`MetricsPipeline`.  A sink is
+any object implementing a subset of the :class:`MetricsSink` event methods --
+:class:`~repro.network.traffic.TrafficStats` is itself a sink (its charge
+methods *are* the event signatures), joined by the observational sinks in
+this package (energy, hotspots, latency).
+
+Dispatch is built for the accounting fast path: for every event the pipeline
+precomputes the tuple of interested handlers (a sink only receives events its
+class actually implements), and when exactly one sink listens -- the default
+configuration, where only ``TrafficStats`` consumes charges -- the pipeline's
+event attribute *is* that sink's bound method, so charging through the
+pipeline costs the same attribute-load-plus-call as charging the stats object
+directly.  The flyweight invariant holds end to end: one
+``NetworkSimulator.transfer`` fast-path call emits exactly one ``charge_path``
+event no matter how many sinks listen.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+#: Event methods fanned out to sinks.  The charge events mirror the
+#: TrafficStats signatures exactly; the on_* events are pipeline-only.
+EVENTS = (
+    "charge_transmission",
+    "charge_path",
+    "charge_broadcast",
+    "charge_drop",
+    "on_sampling_cycle",
+    "on_delivery",
+)
+
+
+class MetricsSink:
+    """Base class for pipeline sinks: every event defaults to a no-op.
+
+    Subclasses override only the events they care about -- the pipeline skips
+    a sink entirely for events it left at the base implementation, so an
+    idle-only sink adds zero overhead to the per-transfer charge path.
+    Sinks may also duck-type (``TrafficStats`` does): any object whose class
+    defines an event method with the matching signature participates.
+    """
+
+    #: Short identifier used to prefix summary keys and per-node series.
+    name: str = "sink"
+
+    # -- charge events (signatures mirror TrafficStats) ---------------------
+    def charge_transmission(self, node_id, size_bytes, kind,
+                            attempts=1, receiver=None) -> None:
+        """One node transmitted a message *attempts* times."""
+
+    def charge_path(self, path, size_bytes, kind,
+                    attempts=None, num_hops=None) -> None:
+        """A message crossed consecutive hops of *path* (flyweight charge)."""
+
+    def charge_broadcast(self, node_id, size_bytes, kind, receivers) -> None:
+        """One local broadcast heard by *receivers*."""
+
+    def charge_drop(self, queue_drop: bool = False) -> None:
+        """A message was dropped (link loss, death, or queue overflow)."""
+
+    # -- pipeline-only events ----------------------------------------------
+    def on_sampling_cycle(self, cycle: int) -> None:
+        """A sampling cycle completed (idle costs, death checks)."""
+
+    def on_delivery(self, kind, latency_cycles: int, hops: int = 0) -> None:
+        """A message reached its destination after *latency_cycles*."""
+
+    # -- lifecycle ----------------------------------------------------------
+    def attach(self, simulator) -> None:
+        """Bind to the owning simulator (topology, accounting mode)."""
+
+    def reset(self) -> None:
+        """Drop accumulated state."""
+
+    # -- results ------------------------------------------------------------
+    def summary(self) -> Dict[str, float]:
+        """Flat scalar metrics, keys prefixed with the sink name."""
+        return {}
+
+    def node_series(self) -> Dict[str, Dict[int, float]]:
+        """Per-node series ``{series_name: {node_id: value}}``."""
+        return {}
+
+
+def _noop(*args, **kwargs) -> None:
+    return None
+
+
+def _fanout(handlers: Tuple[Callable, ...]) -> Callable:
+    def emit(*args, **kwargs):
+        for handler in handlers:
+            handler(*args, **kwargs)
+    return emit
+
+
+class MetricsPipeline:
+    """Fans accounting events out to registered sinks.
+
+    Event dispatchers are instance attributes rebuilt on every sink change:
+    zero listeners -> a shared no-op, one listener -> that sink's bound
+    method itself (the hot default: ``pipeline.charge_path`` *is*
+    ``TrafficStats.charge_path``), several -> a fan-out closure.
+    """
+
+    def __init__(self, sinks: Sequence[Any] = ()) -> None:
+        self._entries: List[Tuple[Any, bool]] = []
+        self._rebuild()  # a sink-less pipeline dispatches every event to no-ops
+        for sink in sinks:
+            self.add_sink(sink)
+
+    # -- registration -------------------------------------------------------
+    def add_sink(self, sink: Any, reporting: bool = True) -> Any:
+        """Register *sink*; non-``reporting`` sinks are excluded from
+        :meth:`summaries` / :meth:`node_series` (the simulator's built-in
+        traffic and latency accounting, which the execution report already
+        covers)."""
+        self._entries.append((sink, reporting))
+        self._rebuild()
+        return sink
+
+    @property
+    def sinks(self) -> List[Any]:
+        return [sink for sink, _ in self._entries]
+
+    @property
+    def reporting_sinks(self) -> List[Any]:
+        return [sink for sink, reporting in self._entries if reporting]
+
+    def _rebuild(self) -> None:
+        for event in EVENTS:
+            default = getattr(MetricsSink, event)
+            handlers = []
+            for sink, _ in self._entries:
+                impl = getattr(type(sink), event, None)
+                if impl is None or impl is default:
+                    continue
+                handlers.append(getattr(sink, event))
+            if not handlers:
+                dispatcher: Callable = _noop
+            elif len(handlers) == 1:
+                dispatcher = handlers[0]
+            else:
+                dispatcher = _fanout(tuple(handlers))
+            setattr(self, event, dispatcher)
+
+    # -- lifecycle ----------------------------------------------------------
+    def reset(self) -> None:
+        """Reset every sink that supports it."""
+        for sink, _ in self._entries:
+            reset = getattr(sink, "reset", None)
+            if reset is not None:
+                reset()
+
+    # -- results ------------------------------------------------------------
+    def summaries(self) -> Dict[str, float]:
+        """Merged scalar summaries of every reporting sink."""
+        merged: Dict[str, float] = {}
+        for sink in self.reporting_sinks:
+            summary = getattr(sink, "summary", None)
+            if summary is not None:
+                merged.update(summary())
+        return merged
+
+    def node_series(self) -> Dict[str, Dict[int, float]]:
+        """Per-node series of every reporting sink, keyed ``sink.series``."""
+        merged: Dict[str, Dict[int, float]] = {}
+        for sink in self.reporting_sinks:
+            series_fn = getattr(sink, "node_series", None)
+            if series_fn is None:
+                continue
+            name = getattr(sink, "name", type(sink).__name__.lower())
+            for series, values in series_fn().items():
+                merged[f"{name}.{series}"] = dict(values)
+        return merged

@@ -18,12 +18,15 @@ an algorithm implemented against one is directly comparable with the other.
 
 from __future__ import annotations
 
+import warnings
 from collections import defaultdict, deque
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, Iterable, List, Optional, Sequence
 
 import numpy as np
 
+from repro.metrics.latency import LatencySink
+from repro.metrics.pipeline import MetricsPipeline, MetricsSink
 from repro.network.links import LinkModel, perfect_links
 from repro.network.message import Message, MessageKind, MessageSizes
 from repro.network.topology import Topology
@@ -81,6 +84,17 @@ class NetworkSimulator:
         default; disable to force the per-hop reference implementation, e.g.
         for equivalence tests.  On perfect links both paths produce
         bit-identical traffic statistics.
+    sinks:
+        Additional :class:`~repro.metrics.pipeline.MetricsSink` instances
+        registered on the metrics pipeline (energy, hotspot, ...).  The
+        built-in :class:`~repro.network.traffic.TrafficStats` and the
+        streaming :class:`~repro.metrics.latency.LatencySink` are always
+        present; extra sinks are observers and never change traffic results.
+    delivered_limit:
+        Bound on the retained ``delivered`` / ``dropped`` message lists
+        (oldest evicted first).  Latency statistics do not depend on the
+        retained messages -- they accumulate streamingly in the latency
+        sink -- so long runs stay O(1) in delivered-message memory.
     """
 
     def __init__(
@@ -92,12 +106,21 @@ class NetworkSimulator:
         transmission_cycles_per_sample: int = 100,
         queue_capacity: Optional[int] = None,
         fast_transport: bool = True,
+        sinks: Optional[Sequence[MetricsSink]] = None,
+        delivered_limit: int = 10_000,
     ) -> None:
         self.topology = topology
         self.links = link_model or perfect_links()
         self.fast_transport = fast_transport
         self.sizes = sizes or MessageSizes()
         self.stats = TrafficStats(accounting=accounting)
+        self.latency = LatencySink()
+        # Every charge point emits through the pipeline; the traffic stats
+        # and the streaming latency accumulator are built-in, non-reporting
+        # sinks (the execution report covers them already).
+        self.pipeline = MetricsPipeline()
+        self.pipeline.add_sink(self.stats, reporting=False)
+        self.pipeline.add_sink(self.latency, reporting=False)
         self.clock = SimulationClock(
             transmission_cycles_per_sample=transmission_cycles_per_sample
         )
@@ -105,8 +128,11 @@ class NetworkSimulator:
         self._handlers: Dict[int, List[DeliveryHandler]] = defaultdict(list)
         self._default_handlers: List[DeliveryHandler] = []
         self._in_flight: Deque[Message] = deque()
-        self.delivered: List[Message] = []
-        self.dropped: List[Message] = []
+        self.delivered: Deque[Message] = deque(maxlen=delivered_limit)
+        self.dropped: Deque[Message] = deque(maxlen=delivered_limit)
+        #: Whether the last run_until_idle hit max_cycles with messages still
+        #: in flight (see :meth:`run_until_idle`).
+        self.last_run_truncated = False
         # Per-sampling-cycle forwarding counters for queue enforcement in
         # instant-accounting mode.
         self._cycle_forwarded: Dict[int, int] = defaultdict(int)
@@ -114,6 +140,27 @@ class NetworkSimulator:
         # the transfer fast path skips the cache-property indirection.
         self._alive_epoch = -1
         self._alive_set: frozenset = frozenset()
+        for sink in sinks or ():
+            self.add_sink(sink)
+
+    # ------------------------------------------------------------------
+    # metrics pipeline
+    # ------------------------------------------------------------------
+    def add_sink(self, sink: MetricsSink) -> MetricsSink:
+        """Register an additional metrics sink, binding it to this simulator.
+
+        The charge points dispatch through ``self.pipeline``'s event
+        attributes on every call (an instance-dict load, no dearer than the
+        historical ``self.stats.charge_*`` bound-method lookup), so sinks
+        added at any time -- here or directly on the pipeline -- observe all
+        subsequent events; this wrapper additionally gives the sink its
+        ``attach`` callback (topology, accounting mode).
+        """
+        attach = getattr(sink, "attach", None)
+        if attach is not None:
+            attach(self)
+        self.pipeline.add_sink(sink)
+        return sink
 
     def _current_alive_set(self) -> frozenset:
         topology = self.topology
@@ -173,18 +220,18 @@ class NetworkSimulator:
         if self.fast_transport and self.queue_capacity is None:
             if self._current_alive_set().issuperset(path):
                 if self.links.loss_probability == 0.0:
-                    self.stats.charge_path(path, size_bytes, kind)
+                    self.pipeline.charge_path(path, size_bytes, kind)
                 else:
                     delivered, attempts = self.links.attempt_hops(num_hops)
                     if not delivered.all():
                         failed_at = int(np.argmax(~delivered))
-                        self.stats.charge_path(
+                        self.pipeline.charge_path(
                             path, size_bytes, kind,
                             attempts=attempts, num_hops=failed_at + 1,
                         )
-                        self.stats.charge_drop()
+                        self.pipeline.charge_drop()
                         return False
-                    self.stats.charge_path(path, size_bytes, kind, attempts=attempts)
+                    self.pipeline.charge_path(path, size_bytes, kind, attempts=attempts)
                 if deliver:
                     self._deliver_instant(path, size_bytes, kind, payload)
                 return True
@@ -192,17 +239,17 @@ class NetworkSimulator:
             sender = path[index]
             receiver = path[index + 1]
             if not self.topology.nodes[sender].alive or not self.topology.nodes[receiver].alive:
-                self.stats.charge_drop()
+                self.pipeline.charge_drop()
                 return False
             if index > 0 and not self._admit_to_queue(sender):
-                self.stats.charge_drop(queue_drop=True)
+                self.pipeline.charge_drop(queue_drop=True)
                 return False
             delivered_hop, attempts = self.links.attempt_hop()
-            self.stats.charge_transmission(
+            self.pipeline.charge_transmission(
                 sender, size_bytes, kind, attempts=attempts, receiver=receiver
             )
             if not delivered_hop:
-                self.stats.charge_drop()
+                self.pipeline.charge_drop()
                 return False
         if deliver:
             self._deliver_instant(path, size_bytes, kind, payload)
@@ -243,7 +290,7 @@ class NetworkSimulator:
             neighbours = self.topology.routing_cache.alive_adjacency.get(node_id, [])
         else:
             neighbours = self.topology.neighbors(node_id)
-        self.stats.charge_broadcast(node_id, size_bytes, kind, neighbours)
+        self.pipeline.charge_broadcast(node_id, size_bytes, kind, neighbours)
         return list(neighbours)
 
     def flood(
@@ -302,22 +349,22 @@ class NetworkSimulator:
                 or not self.topology.nodes[receiver].alive
             ):
                 message.dropped = True
-                self.stats.charge_drop()
+                self.pipeline.charge_drop()
                 self.dropped.append(message)
                 continue
             if message.hops_taken > 0 and not self._admit_to_queue(sender):
                 message.dropped = True
-                self.stats.charge_drop(queue_drop=True)
+                self.pipeline.charge_drop(queue_drop=True)
                 self.dropped.append(message)
                 continue
             delivered_hop, attempts = self.links.attempt_hop()
-            self.stats.charge_transmission(
+            self.pipeline.charge_transmission(
                 sender, message.size_bytes, message.kind,
                 attempts=attempts, receiver=receiver,
             )
             if not delivered_hop:
                 message.dropped = True
-                self.stats.charge_drop()
+                self.pipeline.charge_drop()
                 self.dropped.append(message)
                 continue
             message.hops_taken += 1
@@ -333,11 +380,26 @@ class NetworkSimulator:
             self.step_transmission_cycle()
 
     def run_until_idle(self, max_cycles: int = 10_000) -> int:
-        """Step until no messages are in flight; returns cycles consumed."""
+        """Step until no messages are in flight; returns cycles consumed.
+
+        If *max_cycles* elapses with messages still in flight the run is
+        **truncated**: ``last_run_truncated`` is set and a ``RuntimeWarning``
+        names the number of stranded messages, so callers cannot mistake a
+        cycle-budget exhaustion for a quiesced network.
+        """
         cycles = 0
         while self._in_flight and cycles < max_cycles:
             self.step_transmission_cycle()
             cycles += 1
+        self.last_run_truncated = bool(self._in_flight)
+        if self.last_run_truncated:
+            warnings.warn(
+                f"run_until_idle stopped after {max_cycles} transmission "
+                f"cycles with {len(self._in_flight)} message(s) still in "
+                "flight; results under-count the remaining traffic",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return cycles
 
     @property
@@ -351,21 +413,18 @@ class NetworkSimulator:
         """Move to the next sampling cycle and reset per-cycle queue counters."""
         self.clock.advance_sampling()
         self._cycle_forwarded.clear()
+        self.pipeline.on_sampling_cycle(self.clock.sampling_cycle)
 
     def average_delivery_latency(
         self, kinds: Optional[Iterable[MessageKind]] = None
     ) -> float:
-        """Mean latency (in transmission cycles) of delivered messages."""
-        wanted = set(kinds) if kinds is not None else None
-        latencies = [
-            message.latency_cycles
-            for message in self.delivered
-            if message.latency_cycles is not None
-            and (wanted is None or message.kind in wanted)
-        ]
-        if not latencies:
-            return 0.0
-        return sum(latencies) / len(latencies)
+        """Mean latency (in transmission cycles) of delivered messages.
+
+        Served by the streaming latency sink -- exact (integer latencies sum
+        exactly) and independent of the bounded ``delivered`` list, so the
+        mean covers every delivery of the run, not just the retained tail.
+        """
+        return self.latency.mean(kinds)
 
     # ------------------------------------------------------------------
     # internals
@@ -380,6 +439,11 @@ class NetworkSimulator:
 
     def _deliver(self, message: Message) -> None:
         self.delivered.append(message)
+        latency = message.latency_cycles
+        self.pipeline.on_delivery(
+            message.kind, latency if latency is not None else 0,
+            message.hops_taken,
+        )
         destination = message.destination if message.destination is not None else message.current_node()
         handlers = self._handlers.get(destination)
         if handlers:

@@ -31,7 +31,16 @@ class TrafficAccounting(Enum):
 
 @dataclass
 class TrafficStats:
-    """Per-node and aggregate transmission counters."""
+    """Per-node and aggregate transmission counters.
+
+    Also the default sink of the metrics pipeline: the ``charge_*`` methods
+    double as the pipeline's event signatures, so the simulator's charge
+    points feed this object directly (one event per flyweight path charge)
+    while additional sinks observe the same events.
+    """
+
+    #: Sink identifier on the metrics pipeline.
+    name = "traffic"
 
     accounting: TrafficAccounting = TrafficAccounting.BYTES
     transmitted: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
@@ -190,11 +199,18 @@ class TrafficStats:
         self.messages_dropped = 0
         self.queue_drops = 0
 
-    def snapshot(self) -> Dict[str, float]:
-        """A flat summary used by the experiment harness."""
+    def snapshot(self) -> Dict[str, object]:
+        """A flat summary used by the experiment harness.
+
+        Alongside the original keys (kept for compatibility), harness rows
+        get ``max_node_load`` and the per-kind ``by_kind`` breakdown directly
+        instead of re-deriving them from the per-node dictionaries.
+        """
         return {
             "total": self.total(),
             "messages_sent": float(self.messages_sent),
             "messages_dropped": float(self.messages_dropped),
             "queue_drops": float(self.queue_drops),
+            "max_node_load": self.max_node_load(),
+            "by_kind": {kind.value: units for kind, units in self.by_kind.items()},
         }

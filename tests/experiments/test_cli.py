@@ -91,6 +91,83 @@ class TestScenarioCommands:
         assert "unknown scenario" in capsys.readouterr().err
 
 
+class TestMetricsOption:
+    @pytest.fixture()
+    def tiny_scenario(self):
+        """A one-run scenario the --metrics flag can instrument cheaply."""
+        from repro.engine import ScenarioSpec
+        from repro.experiments.scenarios import BUILTIN_SCENARIOS, register_scenario
+
+        register_scenario("zmetrics", lambda: ScenarioSpec(
+            name="zmetrics", query="query1", algorithms=("naive",),
+            data={"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": 0.2},
+            runs=1, cycles=3,
+        ))
+        try:
+            yield "zmetrics"
+        finally:
+            BUILTIN_SCENARIOS.pop("zmetrics", None)
+
+    def test_metrics_flag_renders_and_persists_node_series(
+            self, capsys, tmp_path, tiny_scenario):
+        from repro.engine import ResultStore
+
+        store = tmp_path / "results.sqlite"
+        assert main(["run-scenario", tiny_scenario, "--scale", "smoke",
+                     "--metrics", "energy,hotspots", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "Instrumentation summary" in out
+        assert "energy_total_uj" in out
+        assert "Per-node energy (top 5, uJ)" in out
+        with ResultStore(store) as result_store:
+            assert result_store.node_metrics_count(scenario=tiny_scenario) > 0
+            rows = result_store.node_metrics(scenario=tiny_scenario,
+                                             series="energy_uj")
+            assert rows and rows[0]["value"] >= 0.0
+
+    def test_metrics_runs_coexist_with_plain_runs(self, capsys, tmp_path,
+                                                  tiny_scenario):
+        """Instrumented and plain runs have distinct keys in one store."""
+        store = tmp_path / "results.sqlite"
+        assert main(["run-scenario", tiny_scenario, "--scale", "smoke",
+                     "--store", str(store)]) == 0
+        capsys.readouterr()
+        assert main(["run-scenario", tiny_scenario, "--scale", "smoke",
+                     "--metrics", "energy", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        # the instrumented invocation cannot be served by the plain run
+        assert "1 executed, 0 from the result store" in out
+        # plain re-invocation still resumes from the store
+        assert main(["run-scenario", tiny_scenario, "--scale", "smoke",
+                     "--store", str(store)]) == 0
+        assert "0 executed, 1 from the result store" in capsys.readouterr().out
+
+    def test_unknown_metrics_sink_is_a_usage_error(self, capsys, tiny_scenario):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["run-scenario", tiny_scenario, "--scale", "smoke",
+                  "--no-store", "--metrics", "voltage"])
+        assert excinfo.value.code == 2
+        assert "unknown metrics sink" in capsys.readouterr().err
+
+    def test_metrics_augments_scenario_sinks(self, capsys, tmp_path):
+        """--metrics adds to a scenario's own sinks instead of replacing
+        them, so declared metric columns stay resolvable."""
+        store = tmp_path / "results.sqlite"
+        assert main(["run-scenario", "energy-budget", "--scale", "smoke",
+                     "--metrics", "energy", "--store", str(store)]) == 0
+        out = capsys.readouterr().out
+        assert "hotspot_gini" in out          # scenario's own hotspot sink
+        assert "energy_total_uj" in out
+
+    def test_campaign_summary_reports_metric_values(self, capsys, tmp_path,
+                                                    tiny_scenario):
+        assert main(["run-campaign", tiny_scenario, "--scale", "smoke",
+                     "--metrics", "energy", "--store",
+                     str(tmp_path / "c.sqlite"), "--quiet"]) == 0
+        out = capsys.readouterr().out
+        assert "metric_values" in out
+
+
 class TestRunCampaign:
     @pytest.fixture()
     def tiny_campaign(self):

@@ -1,0 +1,202 @@
+"""Tests for the event-sink metrics pipeline and TrafficStats-as-sink."""
+
+import pytest
+
+from repro.metrics import (
+    EnergySink,
+    HotspotSink,
+    LatencySink,
+    MetricsPipeline,
+    MetricsSink,
+    available_sink_presets,
+    build_sinks,
+    summary_prefixes,
+    validate_sink_entries,
+)
+from repro.network import (
+    MessageKind,
+    NetworkSimulator,
+    SensorNode,
+    Topology,
+    TrafficStats,
+)
+
+
+def chain_topology(length=5):
+    nodes = {i: SensorNode(node_id=i, position=(float(i), 0.0)) for i in range(length)}
+    adjacency = {i: set() for i in range(length)}
+    for i in range(length - 1):
+        adjacency[i].add(i + 1)
+        adjacency[i + 1].add(i)
+    return Topology(nodes=nodes, adjacency=adjacency, base_id=0, radio_range=1.5)
+
+
+class RecordingSink(MetricsSink):
+    """A sink that records every event it receives."""
+
+    name = "recording"
+
+    def __init__(self):
+        self.events = []
+
+    def charge_path(self, path, size_bytes, kind, attempts=None, num_hops=None):
+        self.events.append(("path", tuple(path), size_bytes))
+
+    def charge_drop(self, queue_drop=False):
+        self.events.append(("drop", queue_drop))
+
+    def on_sampling_cycle(self, cycle):
+        self.events.append(("cycle", cycle))
+
+
+class TestDispatch:
+    def test_single_listener_is_the_bound_method(self):
+        """The default config dispatches with zero added indirection."""
+        stats = TrafficStats()
+        pipeline = MetricsPipeline([stats])
+        assert pipeline.charge_path.__self__ is stats
+        assert pipeline.charge_transmission.__self__ is stats
+
+    def test_uninterested_sinks_are_skipped(self):
+        """A sink only receives events its class implements."""
+        stats = TrafficStats()
+        latency = LatencySink()
+        pipeline = MetricsPipeline([stats, latency])
+        # latency inherits the charge no-ops, so stats stays the only
+        # charge listener and keeps the direct-bound dispatch
+        assert pipeline.charge_path.__self__ is stats
+        assert pipeline.on_delivery.__self__ is latency
+
+    def test_fanout_reaches_every_listener(self):
+        stats = TrafficStats()
+        recorder = RecordingSink()
+        pipeline = MetricsPipeline([stats, recorder])
+        pipeline.charge_path([0, 1, 2], 10, MessageKind.DATA)
+        pipeline.charge_drop(queue_drop=True)
+        assert stats.total() == 20.0
+        assert recorder.events == [("path", (0, 1, 2), 10), ("drop", True)]
+
+    def test_no_listener_event_is_a_noop(self):
+        pipeline = MetricsPipeline([TrafficStats()])
+        pipeline.on_sampling_cycle(3)  # nothing listens; must not raise
+
+    def test_sinkless_pipeline_dispatches_to_noops(self):
+        pipeline = MetricsPipeline()
+        pipeline.charge_drop()
+        pipeline.charge_path([0, 1], 10, MessageKind.DATA)
+        pipeline.on_delivery(MessageKind.DATA, 2)
+        assert pipeline.summaries() == {}
+        assert pipeline.node_series() == {}
+
+    def test_reset_resets_every_sink(self):
+        stats = TrafficStats()
+        pipeline = MetricsPipeline([stats, RecordingSink()])
+        pipeline.charge_path([0, 1], 10, MessageKind.DATA)
+        pipeline.reset()
+        assert stats.total() == 0.0
+        assert stats.messages_sent == 0
+
+
+class TestSimulatorIntegration:
+    def _drive(self, sim):
+        sim.transfer([0, 1, 2, 3], 10, MessageKind.DATA)
+        sim.transfer([2, 1], 7, MessageKind.RESULT)
+        sim.broadcast(1, 8, MessageKind.CONTROL)
+        sim.flood(0, 5, MessageKind.CONTROL)
+        sim.advance_sampling_cycle()
+        sim.transfer([3, 2, 1, 0], 12, MessageKind.DATA)
+
+    def test_extra_sinks_never_change_traffic(self):
+        """Observer sinks leave TrafficStats bit-identical (pipeline-off
+        equivalence at the simulator level)."""
+        plain = NetworkSimulator(chain_topology())
+        instrumented = NetworkSimulator(
+            chain_topology(),
+            sinks=[EnergySink(), HotspotSink(), LatencySink()],
+        )
+        self._drive(plain)
+        self._drive(instrumented)
+        assert plain.stats.transmitted == instrumented.stats.transmitted
+        assert plain.stats.received == instrumented.stats.received
+        assert plain.stats.by_kind == instrumented.stats.by_kind
+        assert plain.stats.messages_sent == instrumented.stats.messages_sent
+        assert plain.stats.snapshot() == instrumented.stats.snapshot()
+
+    def test_traffic_stats_as_sink_merge_parity(self):
+        """Stats charged through the pipeline merge exactly like the
+        hand-charged originals."""
+        sim_a = NetworkSimulator(chain_topology())
+        sim_b = NetworkSimulator(chain_topology())
+        sim_a.transfer([0, 1, 2], 10, MessageKind.DATA)
+        sim_b.transfer([2, 3, 4], 6, MessageKind.RESULT)
+        merged = sim_a.stats.merge(sim_b.stats)
+        reference = TrafficStats()
+        reference.charge_path([0, 1, 2], 10, MessageKind.DATA)
+        reference.charge_path([2, 3, 4], 6, MessageKind.RESULT)
+        assert merged.transmitted == reference.transmitted
+        assert merged.received == reference.received
+        assert merged.by_kind == reference.by_kind
+        assert merged.messages_sent == reference.messages_sent
+
+    def test_traffic_stats_as_sink_reset_parity(self):
+        sim = NetworkSimulator(chain_topology(), sinks=[EnergySink()])
+        sim.transfer([0, 1, 2], 10, MessageKind.DATA)
+        sim.pipeline.reset()
+        assert sim.stats.total() == 0.0
+        assert sim.stats.messages_sent == 0
+        snapshot = sim.stats.snapshot()
+        assert snapshot["total"] == 0.0
+        assert snapshot["by_kind"] == {}
+
+    def test_add_sink_after_construction(self):
+        sim = NetworkSimulator(chain_topology())
+        recorder = sim.add_sink(RecordingSink())
+        sim.transfer([0, 1], 10, MessageKind.DATA)
+        assert recorder.events == [("path", (0, 1), 10)]
+
+    def test_pipeline_direct_add_sink_observes_events(self):
+        """Sinks registered on the pipeline itself (bypassing the simulator
+        wrapper) still see every subsequent charge."""
+        sim = NetworkSimulator(chain_topology())
+        recorder = RecordingSink()
+        sim.pipeline.add_sink(recorder)
+        sim.transfer([0, 1, 2], 10, MessageKind.DATA)
+        assert recorder.events == [("path", (0, 1, 2), 10)]
+
+    def test_summaries_and_series_cover_reporting_sinks_only(self):
+        sim = NetworkSimulator(chain_topology(), sinks=[EnergySink()])
+        sim.transfer([0, 1], 10, MessageKind.DATA)
+        summaries = sim.pipeline.summaries()
+        assert "energy_total_uj" in summaries
+        # built-in traffic/latency sinks are non-reporting
+        assert all(key.startswith("energy_") for key in summaries)
+        series = sim.pipeline.node_series()
+        assert set(series) == {"energy.energy_uj"}
+
+
+class TestPresets:
+    def test_build_sinks_by_name_and_mapping(self):
+        sinks = build_sinks(["energy", {"sink": "hotspots", "top_k": 3},
+                             "latency"])
+        assert [type(sink).__name__ for sink in sinks] == [
+            "EnergySink", "HotspotSink", "LatencySink"]
+        assert sinks[1].top_k == 3
+
+    def test_all_group_expands(self):
+        sinks = build_sinks(["all"])
+        assert len(sinks) == 3
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(KeyError, match="unknown sink preset"):
+            build_sinks(["voltage"])
+        with pytest.raises(ValueError, match="'sink' key"):
+            validate_sink_entries([{"capacity_uj": 1.0}])
+
+    def test_available_presets(self):
+        assert {"energy", "hotspots", "latency", "all"} <= set(
+            available_sink_presets())
+
+    def test_summary_prefixes(self):
+        assert summary_prefixes(["all"]) == ("energy_", "hotspot_", "latency_")
+        assert summary_prefixes([{"sink": "energy", "capacity_uj": 1.0}]) == (
+            "energy_",)

@@ -178,6 +178,67 @@ class TestCycleAccurateTransport:
             sim.register_handler(99, lambda n, m: None)
 
 
+class TestRunUntilIdleTruncation:
+    def _send_long(self, sim):
+        sim.send(Message(
+            kind=MessageKind.DATA, source=0, destination=4, size_bytes=5,
+            path=[0, 1, 2, 3, 4],
+        ))
+
+    def test_truncation_warns_and_flags(self):
+        sim = NetworkSimulator(chain_topology())
+        self._send_long(sim)
+        with pytest.warns(RuntimeWarning, match="still in flight"):
+            cycles = sim.run_until_idle(max_cycles=2)
+        assert cycles == 2
+        assert sim.last_run_truncated
+        assert sim.in_flight_count == 1
+
+    def test_clean_drain_clears_the_flag(self):
+        sim = NetworkSimulator(chain_topology())
+        self._send_long(sim)
+        with pytest.warns(RuntimeWarning):
+            sim.run_until_idle(max_cycles=1)
+        sim.run_until_idle()
+        assert not sim.last_run_truncated
+        assert sim.in_flight_count == 0
+
+
+class TestBoundedDeliveredList:
+    def test_delivered_list_is_bounded(self):
+        sim = NetworkSimulator(chain_topology(), delivered_limit=3)
+        for _ in range(5):
+            sim.send(Message(kind=MessageKind.DATA, source=0, destination=1,
+                             size_bytes=5, path=[0, 1]))
+            sim.run_until_idle()
+        assert len(sim.delivered) == 3
+
+    def test_latency_stays_exact_beyond_the_bound(self):
+        """The streaming sink covers every delivery, not the retained tail.
+
+        Equivalence check against the old exact list mean: deliveries with
+        latencies 1..5 average 3.0 even though only the last 2 messages are
+        retained.
+        """
+        sim = NetworkSimulator(chain_topology(length=6), delivered_limit=2)
+        for hops in range(1, 6):
+            sim.send(Message(kind=MessageKind.DATA, source=0, destination=hops,
+                             size_bytes=5, path=list(range(hops + 1))))
+            sim.run_until_idle()
+        assert len(sim.delivered) == 2
+        assert sim.latency.count == 5
+        # old implementation: sum(1..5) / 5
+        assert sim.average_delivery_latency() == pytest.approx(3.0)
+        assert sim.average_delivery_latency([MessageKind.DATA]) == pytest.approx(3.0)
+        assert sim.average_delivery_latency([MessageKind.RESULT]) == 0.0
+
+    def test_instant_transfers_count_as_zero_latency(self):
+        sim = NetworkSimulator(chain_topology())
+        sim.transfer([0, 1, 2], 10, deliver=True)
+        assert sim.latency.count == 1
+        assert sim.average_delivery_latency() == 0.0
+
+
 class TestClock:
     def test_clock_rollover(self):
         sim = NetworkSimulator(chain_topology(), transmission_cycles_per_sample=3)

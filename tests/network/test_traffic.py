@@ -83,3 +83,15 @@ class TestTrafficStats:
         stats.reset()
         assert stats.total() == 0.0
         assert stats.messages_sent == 0
+
+    def test_snapshot_carries_by_kind_and_max_node_load(self):
+        """Harness rows read these directly instead of re-deriving them."""
+        stats = TrafficStats()
+        stats.charge_transmission(1, 10, MessageKind.DATA, receiver=2)
+        stats.charge_transmission(2, 5, MessageKind.CONTROL)
+        snap = stats.snapshot()
+        # original keys kept for compatibility
+        assert {"total", "messages_sent", "messages_dropped",
+                "queue_drops"} <= set(snap)
+        assert snap["max_node_load"] == stats.max_node_load() == 15.0
+        assert snap["by_kind"] == {"data": 10.0, "control": 5.0}
