@@ -90,6 +90,59 @@ def test_perf_transfer_lossy(benchmark, mesh):
     _record("transfer_heavy_lossy", benchmark)
 
 
+def test_perf_transfer_batch_perfect(benchmark, mesh):
+    """The batch-cycle kernel on perfect links: one event per round."""
+    simulator = NetworkSimulator(mesh)
+    base = mesh.base_id
+    paths = [mesh.shortest_path(node, base) for node in mesh.node_ids if node != base]
+    prepared = simulator.prepare_paths(paths)
+
+    def run():
+        for _ in range(10):
+            simulator.transfer_many(prepared, 24, MessageKind.DATA)
+        return simulator.stats.messages_sent
+
+    assert benchmark(run) > 0
+    _record("transfer_heavy_batch_perfect", benchmark)
+
+
+def test_perf_transfer_batch_lossy(benchmark, mesh):
+    """The batch-cycle kernel on lossy links: one draw + one event."""
+    simulator = NetworkSimulator(mesh, link_model=lossy_links(0.2, seed=9))
+    base = mesh.base_id
+    paths = [mesh.shortest_path(node, base) for node in mesh.node_ids if node != base]
+    prepared = simulator.prepare_paths(paths)
+
+    def run():
+        for _ in range(10):
+            simulator.transfer_many(prepared, 24, MessageKind.DATA)
+        return simulator.stats.messages_sent
+
+    assert benchmark(run) > 0
+    _record("transfer_heavy_batch_lossy", benchmark)
+
+
+def test_perf_batch_speedup_guard():
+    """The batch kernel must stay >= 5x the per-tuple reference path.
+
+    Runs after the four transfer benchmarks recorded their throughput; the
+    issue's acceptance bar is 10x on perfect links -- the guard is set at
+    half that so routine timer noise cannot break CI while a real regression
+    (e.g. re-introducing a per-path Python loop into the kernel) still does.
+    """
+    needed = ("transfer_heavy_perfect", "transfer_heavy_batch_perfect",
+              "transfer_heavy_lossy", "transfer_heavy_batch_lossy")
+    if not all(name in _RESULTS for name in needed):
+        pytest.skip("transfer benchmarks did not run (benchmark-only module)")
+    for reference, batched in (needed[:2], needed[2:]):
+        speedup = _RESULTS[reference]["mean_s"] / _RESULTS[batched]["mean_s"]
+        _RESULTS[batched]["speedup_vs_per_tuple"] = speedup
+        assert speedup >= 5.0, (
+            f"{batched} is only {speedup:.1f}x over {reference}; "
+            "the batch kernel regressed"
+        )
+
+
 def _best_of(function, repeats=9):
     """Minimum wall-clock of *repeats* invocations (the stable statistic)."""
     best = float("inf")
@@ -101,13 +154,13 @@ def _best_of(function, repeats=9):
 
 
 def test_perf_pipeline_overhead_guard(mesh):
-    """Pipeline with only the traffic sink adds <10% vs seed accounting.
+    """Pipeline with only the traffic sink adds <5% vs seed accounting.
 
     The seed accounting path charged ``TrafficStats.charge_path`` directly;
     the pipeline's single-listener dispatch binds the same bound method, so
-    the instrumented hot path must stay within 10 % of it (it is the same
-    call; the margin absorbs timer noise).  Recorded in
-    ``BENCH_transport.json`` alongside the transfer benchmarks.
+    the instrumented hot path must stay within 5 % of it (it is the same
+    call -- measured overhead is ~0%; the margin absorbs timer noise).
+    Recorded in ``BENCH_transport.json`` alongside the transfer benchmarks.
     """
     base = mesh.base_id
     paths = [mesh.shortest_path(node, base) for node in mesh.node_ids if node != base]
@@ -130,7 +183,7 @@ def test_perf_pipeline_overhead_guard(mesh):
         "pipeline_best_s": piped_s,
         "overhead_fraction": overhead,
     }
-    assert overhead < 0.10, (
+    assert overhead < 0.05, (
         f"metrics pipeline costs {overhead:.1%} over seed accounting "
         f"({piped_s:.4f}s vs {seed_s:.4f}s)"
     )

@@ -60,6 +60,7 @@ def run_single(
     copy_topology: Optional[bool] = None,
     link_model: Optional[LinkModel] = None,
     sinks: Optional[List] = None,
+    batch_cycles: bool = True,
 ) -> RunResult:
     """One run of one algorithm.
 
@@ -85,6 +86,7 @@ def run_single(
         queue_capacity=queue_capacity,
         seed=seed,
         sinks=sinks,
+        batch_cycles=batch_cycles,
     )
     report = executor.run(cycles)
     return RunResult(algorithm=algorithm, seed=seed, report=report)
@@ -296,6 +298,7 @@ def _execute_join_run(spec: RunSpec) -> RunResult:
             strategy_kwargs=_strategy_kwargs_from_spec(spec),
             link_model=link_model,
             sinks=sinks,
+            batch_cycles=spec.batch_cycles,
         )
     return _run_phased(spec, query, topology, data_source, assumed,
                        injector, link_model, copy_topology=(
@@ -337,6 +340,7 @@ def _run_phased(spec: RunSpec, query: JoinQuery, topology: Topology,
         queue_capacity=spec.queue_capacity,
         seed=spec.seed,
         sinks=sinks,
+        batch_cycles=spec.batch_cycles,
     )
     executor.initiate()
     extra: Dict[str, float] = {}

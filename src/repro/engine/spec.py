@@ -331,6 +331,11 @@ class RunSpec:
     #: mappings with a "sink" key.  Excluded from the run key when empty, so
     #: default-instrumented runs keep their pre-metrics content hash.
     sinks: Tuple[Any, ...] = ()
+    #: Batch-cycle execution kernel (see repro.network.batch).  Traffic is
+    #: bit-identical to the per-tuple reference path, so the default (True)
+    #: is excluded from the run key: batched runs keep the per-tuple content
+    #: hash and resume stored results either way.
+    batch_cycles: bool = True
 
     @property
     def data_selectivities(self) -> Selectivities:
@@ -394,13 +399,17 @@ class RunSpec:
             # instrumentation is off by default: leaving the empty knob out
             # of the hash keeps every pre-metrics stored result addressable
             del payload["sinks"]
+        if payload["batch_cycles"]:
+            # the batch kernel is bit-identical to the per-tuple reference,
+            # so default-batched runs keep the per-tuple content hash
+            del payload["batch_cycles"]
         payload["engine_version"] = ENGINE_VERSION
         return content_hash(payload)
 
     def __hash__(self) -> int:  # dict-free fields only, all hashable
         return hash((self.scenario, self.setting, self.query, self.query_kwargs,
                      self.algorithm, self.run_index, self.seed, self.kind,
-                     self.label, self.phases, self.sinks))
+                     self.label, self.phases, self.sinks, self.batch_cycles))
 
 
 # ---------------------------------------------------------------------------
@@ -411,7 +420,7 @@ class RunSpec:
 _FIELD_AXES = {
     "query", "query_kwargs", "cycles", "cycles_factor", "num_nodes",
     "topology_preset", "topology_seed", "queue_capacity", "link_loss",
-    "accounting", "sinks",
+    "accounting", "sinks", "batch_cycles",
 }
 #: Grid axes with workload-specific handling.  ``ratio`` applies to both the
 #: data and the assumed selectivities; ``true_ratio`` to the data only and
@@ -564,6 +573,11 @@ class ScenarioSpec:
     #: ``join`` run kind instruments its simulator; measurement kinds ignore
     #: the knob.  Sweepable via a ``sinks`` grid axis.
     sinks: Tuple[Any, ...] = ()
+    #: Batch-cycle execution kernel (array-level charges, one pipeline event
+    #: per cycle).  Bit-identical to per-tuple execution, so the default
+    #: (True) is omitted from :meth:`to_dict` to keep spec hashes stable.
+    #: Sweepable via a ``batch_cycles`` grid axis.
+    batch_cycles: bool = True
     metrics: Tuple[str, ...] = ("total_traffic", "base_traffic", "max_node_load")
     seed_base: int = 0
     workload_seed_base: int = 100
@@ -628,6 +642,11 @@ class ScenarioSpec:
         ]
         payload["failures"] = [dict(f) for f in self.failures]
         payload["phases"] = [phase.to_dict() for phase in self.phases]
+        if payload["batch_cycles"]:
+            # bit-identical default: omitting it keeps spec hashes (and the
+            # result store's campaign keys) stable across the kernel's
+            # introduction
+            del payload["batch_cycles"]
         return payload
 
     @classmethod
@@ -820,6 +839,9 @@ class ScenarioSpec:
             sinks=tuple(
                 entry if isinstance(entry, str) else freeze(entry)
                 for entry in sink_entries
+            ),
+            batch_cycles=bool(
+                field_overrides.get("batch_cycles", self.batch_cycles)
             ),
         )
 

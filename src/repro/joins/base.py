@@ -12,6 +12,7 @@ an :class:`ExecutionReport`.
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Protocol, Sequence, Tuple, Union
 
@@ -70,6 +71,9 @@ class ExecutionContext:
     assumed_selectivities: SelectivityProvider
     sizes: MessageSizes = field(default_factory=MessageSizes)
     seed: int = 0
+    #: When set (batch-cycle kernel), :meth:`ship` routes through the
+    #: batcher instead of calling the simulator per path.
+    _batcher: Optional[Any] = field(default=None, repr=False, compare=False)
 
     @property
     def base_id(self) -> int:
@@ -191,9 +195,26 @@ class ExecutionContext:
         """Send a message along a path (instant accounting)."""
         if len(path) <= 1:
             return True
+        if self._batcher is not None:
+            return self._batcher.ship(path, size_bytes, kind)
         # transfer() never stores or mutates the path (Message construction
         # copies it), so shipping avoids a defensive copy per call.
         return self.simulator.transfer(path, size_bytes, kind)
+
+    @contextmanager
+    def captured_shipping(self, batcher):
+        """Route every :meth:`ship` inside the block through *batcher*.
+
+        The batcher answers delivery verdicts immediately (drawing link
+        outcomes in the same RNG order as per-path transfers would) but
+        defers all metric charges until its ``flush()``.
+        """
+        previous = self._batcher
+        self._batcher = batcher
+        try:
+            yield batcher
+        finally:
+            self._batcher = previous
 
 
 @dataclass
@@ -292,6 +313,20 @@ class JoinStrategy(ABC):
     @abstractmethod
     def execute_cycle(self, ctx: ExecutionContext, cycle: int) -> None:
         """Run one sampling cycle: sample, ship, join, forward results."""
+
+    def execute_cycle_batch(self, ctx: ExecutionContext, cycle: int, batcher) -> None:
+        """Run one sampling cycle with charges batched through *batcher*.
+
+        The default runs the strategy's own :meth:`execute_cycle` with
+        :meth:`ExecutionContext.ship` captured by the batcher: delivery
+        verdicts are identical (same RNG draw order), but all metric
+        charges are deferred and emitted as one array-level pipeline event
+        when the executor flushes the batcher.  Strategies with a wide
+        same-shape fan-out (e.g. every producer shipping to the base) can
+        override this with a vectorized ``ship_many`` formulation.
+        """
+        with ctx.captured_shipping(batcher):
+            self.execute_cycle(ctx, cycle)
 
     def handle_failures(self, ctx: ExecutionContext, failed: List[int], cycle: int) -> None:
         """React to permanent node failures (default: nothing to do)."""

@@ -19,6 +19,7 @@ from repro.joins.base import (
     JoinStrategy,
     SelectivityProvider,
 )
+from repro.network.batch import CycleBatcher
 from repro.network.failures import FailureInjector
 from repro.network.links import LinkModel
 from repro.network.message import MessageSizes
@@ -47,6 +48,7 @@ class JoinExecutor:
         charge_tree_construction: bool = False,
         seed: int = 0,
         sinks: Optional[Sequence] = None,
+        batch_cycles: bool = True,
     ) -> None:
         self.query = query
         self.topology = topology
@@ -74,6 +76,10 @@ class JoinExecutor:
         )
         self._initiated = False
         self._initiation_traffic = 0.0
+        self.batch_cycles = batch_cycles
+        self._batcher: Optional[CycleBatcher] = None
+        self._batch_epoch = -1
+        self._batch_off = not batch_cycles
 
     # ------------------------------------------------------------------
     def initiate(self) -> float:
@@ -110,8 +116,42 @@ class JoinExecutor:
             failed = self.failure_injector.apply(self.topology, cycle)
             if failed:
                 self.strategy.handle_failures(self.context, failed, cycle)
-            self.strategy.execute_cycle(self.context, cycle)
+            batcher = self._cycle_batcher()
+            if batcher is None:
+                self.strategy.execute_cycle(self.context, cycle)
+            else:
+                self.strategy.execute_cycle_batch(self.context, cycle, batcher)
+                batcher.flush()
             self.simulator.advance_sampling_cycle()
+
+    def _cycle_batcher(self) -> Optional[CycleBatcher]:
+        """The batch-cycle kernel for this cycle, or ``None`` for per-tuple.
+
+        The kernel engages only while the network is static: every node
+        alive, fast transport, no delivery queues.  The first topology
+        mutation after engagement (failure injection, mobility -- both
+        bump the routing epoch) drops the run back to the bit-identical
+        per-tuple reference path for the rest of the run, so mid-phase
+        dynamics never race the deferred charges.
+        """
+        if self._batch_off:
+            return None
+        simulator = self.simulator
+        if not simulator.fast_transport or simulator.queue_capacity is not None:
+            self._batch_off = True
+            return None
+        epoch = self.topology.routing_epoch
+        if self._batcher is None:
+            if len(simulator._current_alive_set()) != len(self.topology.nodes):
+                self._batch_off = True
+                return None
+            self._batcher = CycleBatcher(simulator)
+            self._batch_epoch = epoch
+        elif epoch != self._batch_epoch:
+            self._batch_off = True
+            self._batcher = None
+            return None
+        return self._batcher
 
     # ------------------------------------------------------------------
     def report(self, cycles: int) -> ExecutionReport:

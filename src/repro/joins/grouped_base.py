@@ -82,6 +82,37 @@ class NaiveJoin(JoinStrategy):
             self._join_at_base(ctx, sample, from_source=(sample.alias == source_alias))
         self._track_storage()
 
+    def execute_cycle_batch(self, ctx: ExecutionContext, cycle: int, batcher) -> None:
+        """Vectorized cycle: one ``ship_many`` for the whole sample fan-in.
+
+        Every producer ships the same-size tuple to the base, so the cycle
+        collapses to a single batched link draw and one deferred charge.
+        The batch kernel only engages while every node is alive (the
+        executor's epoch guard), so the per-sample liveness check of
+        :meth:`execute_cycle` is vacuous here.
+        """
+        source_alias, _ = ctx.query.aliases
+        eligible = {alias: self.participating_producers(alias) for alias in ctx.query.aliases}
+        samples = ctx.sample_producers(cycle, eligible)
+        data_size = ctx.data_tuple_size()
+        paths_to_base = self._paths_to_base
+        shipped = []
+        paths = []
+        for sample in samples:
+            path = paths_to_base.get(sample.node_id)
+            if path is None:
+                continue
+            shipped.append(sample)
+            paths.append(path)
+        if paths:
+            delivered = batcher.ship_many(paths, data_size, MessageKind.DATA)
+            for sample, ok in zip(shipped, delivered.tolist()):
+                if ok:
+                    self._join_at_base(
+                        ctx, sample, from_source=(sample.alias == source_alias)
+                    )
+        self._track_storage()
+
     def _join_at_base(
         self, ctx: ExecutionContext, sample: ProducerSample, from_source: bool
     ) -> None:

@@ -26,6 +26,8 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, Optional, Set, Tuple
 
+import numpy as np
+
 from repro.metrics.pipeline import MetricsSink
 
 
@@ -100,13 +102,61 @@ class EnergySink(MetricsSink):
         rx = size_bytes * model.rx_uj_per_byte
         energy = self.energy
         if attempts is None:
-            for index in range(hops):
-                energy[path[index]] += tx
-                energy[path[index + 1]] += rx
+            if hops == 1:  # single radio hop: the most common charge
+                energy[path[0]] += tx
+                energy[path[1]] += rx
+                return
+            previous = path[0]
+            for index in range(1, hops + 1):
+                node = path[index]
+                energy[previous] += tx
+                energy[node] += rx
+                previous = node
         else:
-            for index in range(hops):
-                energy[path[index]] += tx * int(attempts[index])
-                energy[path[index + 1]] += rx
+            previous = path[0]
+            for index in range(1, hops + 1):
+                node = path[index]
+                energy[previous] += tx * int(attempts[index - 1])
+                energy[node] += rx
+                previous = node
+
+    def charge_paths_batch(self, batch) -> None:
+        """Array-level charge of a whole cycle's paths (batch kernel).
+
+        Folds ``np.bincount`` per-node deltas into the public ``energy``
+        dictionary eagerly (tests and summaries read it directly), one fold
+        per cycle -- the same order of work as the per-cycle idle loop.
+        """
+        model = self.model
+        uniform = batch.uniform
+        if uniform is not None:
+            size_bytes, _kind, tx_counts, rx_counts, _total_hops = uniform
+            size = tx_counts.shape[0]
+            delta = np.zeros(max(size, rx_counts.shape[0]), dtype=np.float64)
+            delta[:size] += tx_counts * (size_bytes * model.tx_uj_per_byte)
+            delta[:rx_counts.shape[0]] += rx_counts * (
+                size_bytes * model.rx_uj_per_byte
+            )
+        else:
+            if batch.senders.size == 0:
+                return
+            tx_weights = batch.sizes * model.tx_uj_per_byte
+            if batch.attempts is not None:
+                tx_weights = tx_weights * batch.attempts
+            tx_counts = np.bincount(batch.senders, weights=tx_weights)
+            rx_counts = np.bincount(
+                batch.receivers, weights=batch.sizes * model.rx_uj_per_byte
+            )
+            delta = np.zeros(
+                max(tx_counts.shape[0], rx_counts.shape[0]), dtype=np.float64
+            )
+            delta[:tx_counts.shape[0]] += tx_counts
+            delta[:rx_counts.shape[0]] += rx_counts
+        energy = self.energy
+        nonzero = np.flatnonzero(delta)
+        values = delta[nonzero]
+        for node_id, value in zip(nonzero.tolist(), values.tolist()):
+            energy[node_id] += value
 
     def charge_broadcast(self, node_id, size_bytes, kind, receivers) -> None:
         model = self.model

@@ -14,6 +14,8 @@ from __future__ import annotations
 from collections import defaultdict
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.metrics.pipeline import MetricsSink
 
 
@@ -84,16 +86,71 @@ class HotspotSink(MetricsSink):
         hops = len(path) - 1 if num_hops is None else num_hops
         if hops <= 0:
             return
-        units = self._units(size_bytes)
+        units = float(size_bytes) if self.bytes_per_unit else 1.0
         load = self.load
         if attempts is None:
-            for index in range(hops):
-                load[path[index]] += units
-                load[path[index + 1]] += units
+            if hops == 1:  # single radio hop: the most common charge
+                load[path[0]] += units
+                load[path[1]] += units
+                return
+            previous = path[0]
+            for index in range(1, hops + 1):
+                node = path[index]
+                load[previous] += units
+                load[node] += units
+                previous = node
         else:
-            for index in range(hops):
-                load[path[index]] += units * int(attempts[index])
-                load[path[index + 1]] += units
+            previous = path[0]
+            for index in range(1, hops + 1):
+                node = path[index]
+                load[previous] += units * int(attempts[index - 1])
+                load[node] += units
+                previous = node
+
+    def charge_paths_batch(self, batch) -> None:
+        """Array-level charge of a whole cycle's paths (batch kernel).
+
+        Mirrors ``TrafficStats.at_node``'s arithmetic (transmitted units,
+        including retransmission attempts, plus received units) as one
+        ``np.bincount`` fold into the public ``load`` dictionary per cycle.
+        """
+        uniform = batch.uniform
+        if uniform is not None:
+            size_bytes, _kind, tx_counts, rx_counts, _total_hops = uniform
+            units = float(size_bytes) if self.bytes_per_unit else 1.0
+            delta = np.zeros(
+                max(tx_counts.shape[0], rx_counts.shape[0]), dtype=np.float64
+            )
+            delta[:tx_counts.shape[0]] += tx_counts
+            delta[:rx_counts.shape[0]] += rx_counts
+            if units != 1.0:
+                delta *= units
+        else:
+            if batch.senders.size == 0:
+                return
+            attempts = batch.attempts
+            if self.bytes_per_unit:
+                rx_weights: Optional[np.ndarray] = batch.sizes
+                tx_weights = (
+                    batch.sizes if attempts is None else batch.sizes * attempts
+                )
+            else:
+                rx_weights = None
+                tx_weights = (
+                    None if attempts is None else attempts.astype(np.float64)
+                )
+            tx_counts = np.bincount(batch.senders, weights=tx_weights)
+            rx_counts = np.bincount(batch.receivers, weights=rx_weights)
+            delta = np.zeros(
+                max(tx_counts.shape[0], rx_counts.shape[0]), dtype=np.float64
+            )
+            delta[:tx_counts.shape[0]] += tx_counts
+            delta[:rx_counts.shape[0]] += rx_counts
+        load = self.load
+        nonzero = np.flatnonzero(delta)
+        values = delta[nonzero]
+        for node_id, value in zip(nonzero.tolist(), values.tolist()):
+            load[node_id] += value
 
     def charge_broadcast(self, node_id, size_bytes, kind, receivers) -> None:
         units = self._units(size_bytes)

@@ -28,6 +28,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 EVENTS = (
     "charge_transmission",
     "charge_path",
+    "charge_paths_batch",
     "charge_broadcast",
     "charge_drop",
     "on_sampling_cycle",
@@ -56,6 +57,17 @@ class MetricsSink:
     def charge_path(self, path, size_bytes, kind,
                     attempts=None, num_hops=None) -> None:
         """A message crossed consecutive hops of *path* (flyweight charge)."""
+
+    def charge_paths_batch(self, batch) -> None:
+        """A whole sampling cycle's paths, as one array-level
+        :class:`~repro.network.batch.PathBatch` (batch-cycle kernel).
+
+        Sinks that leave this at the default but implement ``charge_path`` /
+        ``charge_drop`` still observe batched charges: the pipeline replays
+        the batch's per-path records through those events (see
+        ``_batch_unroll``), so the batch kernel never silently bypasses a
+        per-tuple sink.
+        """
 
     def charge_broadcast(self, node_id, size_bytes, kind, receivers) -> None:
         """One local broadcast heard by *receivers*."""
@@ -92,9 +104,74 @@ def _noop(*args, **kwargs) -> None:
 
 
 def _fanout(handlers: Tuple[Callable, ...]) -> Callable:
+    if len(handlers) == 2:
+        first, second = handlers
+
+        def emit(*args, **kwargs):
+            first(*args, **kwargs)
+            second(*args, **kwargs)
+        return emit
+    if len(handlers) == 3:
+        first, second, third = handlers
+
+        def emit(*args, **kwargs):
+            first(*args, **kwargs)
+            second(*args, **kwargs)
+            third(*args, **kwargs)
+        return emit
+
     def emit(*args, **kwargs):
         for handler in handlers:
             handler(*args, **kwargs)
+    return emit
+
+
+def _fanout_charge_path(handlers: Tuple[Callable, ...]) -> Callable:
+    """Signature-specialized fan-out for the hottest event.
+
+    ``charge_path`` fires once per transferred tuple; packing/unpacking
+    ``*args``/``**kwargs`` per listener is measurable there, so the
+    multi-sink dispatcher forwards the five known parameters positionally.
+    """
+    if len(handlers) == 2:
+        first, second = handlers
+
+        def emit(path, size_bytes, kind, attempts=None, num_hops=None):
+            first(path, size_bytes, kind, attempts, num_hops)
+            second(path, size_bytes, kind, attempts, num_hops)
+        return emit
+    if len(handlers) == 3:
+        first, second, third = handlers
+
+        def emit(path, size_bytes, kind, attempts=None, num_hops=None):
+            first(path, size_bytes, kind, attempts, num_hops)
+            second(path, size_bytes, kind, attempts, num_hops)
+            third(path, size_bytes, kind, attempts, num_hops)
+        return emit
+
+    def emit(path, size_bytes, kind, attempts=None, num_hops=None):
+        for handler in handlers:
+            handler(path, size_bytes, kind, attempts, num_hops)
+    return emit
+
+
+def _batch_unroll(charge_path: Optional[Callable],
+                  charge_drop: Optional[Callable]) -> Callable:
+    """Replay a :class:`~repro.network.batch.PathBatch` through the
+    per-tuple charge events, for sinks without a native batch handler.
+
+    The record sequence reproduces the per-tuple reference calls exactly
+    (same paths, sizes, attempts arrays, ``num_hops`` truncation and drops),
+    so such a sink accumulates bit-identical state in batch mode.
+    """
+    def emit(batch):
+        for path, size_bytes, kind, attempts, num_hops, dropped \
+                in batch.iter_records():
+            if charge_path is not None:
+                charge_path(path, size_bytes, kind,
+                            attempts=attempts, num_hops=num_hops)
+            if dropped and charge_drop is not None:
+                charge_drop()
     return emit
 
 
@@ -138,15 +215,40 @@ class MetricsPipeline:
             for sink, _ in self._entries:
                 impl = getattr(type(sink), event, None)
                 if impl is None or impl is default:
+                    if event == "charge_paths_batch":
+                        adapter = self._unroll_adapter(sink)
+                        if adapter is not None:
+                            handlers.append(adapter)
                     continue
                 handlers.append(getattr(sink, event))
             if not handlers:
                 dispatcher: Callable = _noop
             elif len(handlers) == 1:
                 dispatcher = handlers[0]
+            elif event == "charge_path":
+                dispatcher = _fanout_charge_path(tuple(handlers))
             else:
                 dispatcher = _fanout(tuple(handlers))
             setattr(self, event, dispatcher)
+
+    @staticmethod
+    def _unroll_adapter(sink: Any) -> Optional[Callable]:
+        """A per-tuple replay handler for a sink without a batch event.
+
+        ``None`` when the sink observes neither ``charge_path`` nor
+        ``charge_drop`` (nothing to replay -- e.g. the latency sink, which
+        only listens to deliveries).
+        """
+        handlers = {}
+        for event in ("charge_path", "charge_drop"):
+            impl = getattr(type(sink), event, None)
+            if impl is None or impl is getattr(MetricsSink, event):
+                handlers[event] = None
+            else:
+                handlers[event] = getattr(sink, event)
+        if handlers["charge_path"] is None and handlers["charge_drop"] is None:
+            return None
+        return _batch_unroll(handlers["charge_path"], handlers["charge_drop"])
 
     # -- lifecycle ----------------------------------------------------------
     def reset(self) -> None:

@@ -1,0 +1,413 @@
+"""Batch-cycle transport kernel: one array-level charge per sampling cycle.
+
+The per-tuple fast path (:meth:`NetworkSimulator.transfer`) still executes one
+Python call chain per shipped tuple; at figure scale that caps the whole
+engine at a few hundred transfers per second.  This module materializes an
+entire sampling cycle's shipping as flat numpy arrays instead:
+
+* :class:`PreparedPaths` -- a reusable set of paths pre-flattened into
+  hop-level sender/receiver arrays with cached per-node hop counts,
+* :class:`PathBatch` -- the payload of the pipeline's ``charge_paths_batch``
+  event: one event carries every hop charged in a cycle,
+* :class:`CycleBatcher` -- the per-cycle collector join strategies ship
+  through in batch mode (``ctx.ship`` routes here); delivery outcomes are
+  computed immediately, charging is deferred to one :meth:`CycleBatcher.flush`.
+
+Bit-identity with the per-tuple reference path rests on two facts:
+
+1. Traffic units are integer-valued floats far below 2**53, so float sums
+   are exact and order-independent -- aggregating hop charges with
+   ``np.bincount`` produces the same numbers as per-hop dictionary adds.
+2. numpy's ``Generator`` draws variates sequentially, so one batched
+   ``LinkModel.attempt_hops_batch`` call consumes the seeded RNG stream
+   exactly like the per-path ``attempt_hops`` calls it replaces (and the
+   scalar :meth:`CycleBatcher.ship` draws at ship time, in ship order).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.network.message import MessageKind
+
+__all__ = ["PathBatch", "PreparedPaths", "CycleBatcher"]
+
+
+def _segment_outcomes(
+    lens: np.ndarray, delivered_hops: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-path delivery outcomes from flat per-hop delivery flags.
+
+    *lens* holds each path's hop count (zero-hop entries allowed: they ship
+    nothing and are trivially delivered); *delivered_hops* is the
+    concatenated per-hop success flags.  Returns ``(delivered, charged,
+    starts)``: whether each path reached its end, how many of its hops are
+    charged (all of them on success, up to and including the first failed
+    hop otherwise -- the reference ``transfer`` semantics), and each path's
+    offset into the flat hop arrays.
+    """
+    n = lens.size
+    starts = np.zeros(n, dtype=np.int64)
+    if n > 1:
+        np.cumsum(lens[:-1], out=starts[1:])
+    delivered = np.ones(n, dtype=bool)
+    charged = lens.copy()
+    nonzero = np.flatnonzero(lens)
+    if nonzero.size:
+        total = delivered_hops.size
+        nz_lens = lens[nonzero]
+        within = (
+            np.arange(total, dtype=np.int64)
+            - np.repeat(starts[nonzero], nz_lens)
+        )
+        # 'total' is larger than any within-segment index, so a fully
+        # delivered segment's minimum stays >= its length.
+        fail_pos = np.where(delivered_hops, total, within)
+        first_fail = np.minimum.reduceat(fail_pos, starts[nonzero])
+        ok = first_fail >= nz_lens
+        delivered[nonzero] = ok
+        charged[nonzero] = np.where(ok, nz_lens, first_fail + 1)
+    return delivered, charged, starts
+
+
+class PreparedPaths:
+    """A path set pre-flattened for repeated batched transfers.
+
+    Zero- and one-node paths ship nothing (they deliver trivially, exactly
+    like :meth:`NetworkSimulator.transfer` on a single-node path) and are
+    excluded from the hop arrays; ``active`` maps the remaining rows back to
+    the original path order.
+    """
+
+    __slots__ = ("paths", "n", "active", "lens", "starts", "within",
+                 "senders", "receivers", "node_set", "sender_counts",
+                 "receiver_counts", "total_hops")
+
+    def __init__(self, paths: Sequence[Sequence[int]],
+                 minlength: int = 0) -> None:
+        self.paths: List[Sequence[int]] = list(paths)
+        self.n = len(self.paths)
+        flat_senders: List[int] = []
+        flat_receivers: List[int] = []
+        lens: List[int] = []
+        active: List[int] = []
+        for index, path in enumerate(self.paths):
+            hops = len(path) - 1
+            if hops <= 0:
+                continue
+            active.append(index)
+            lens.append(hops)
+            flat_senders.extend(path[:hops])
+            flat_receivers.extend(path[1:])
+        self.active = np.asarray(active, dtype=np.int64)
+        self.lens = np.asarray(lens, dtype=np.int64)
+        self.starts = np.zeros(self.lens.size, dtype=np.int64)
+        if self.lens.size > 1:
+            np.cumsum(self.lens[:-1], out=self.starts[1:])
+        self.senders = np.asarray(flat_senders, dtype=np.int64)
+        self.receivers = np.asarray(flat_receivers, dtype=np.int64)
+        self.total_hops = int(self.senders.size)
+        self.within = (
+            np.arange(self.total_hops, dtype=np.int64)
+            - np.repeat(self.starts, self.lens)
+        )
+        self.node_set = frozenset(
+            node for path in self.paths for node in path
+        )
+        # Cached per-node hop counts: the whole-batch charge on perfect links
+        # is two vector multiply-adds over these, independent of path count.
+        self.sender_counts = np.bincount(
+            self.senders, minlength=minlength
+        ).astype(np.float64)
+        self.receiver_counts = np.bincount(
+            self.receivers, minlength=minlength
+        ).astype(np.float64)
+
+
+class PathBatch:
+    """One ``charge_paths_batch`` event: every hop charged this cycle.
+
+    ``senders`` / ``receivers`` / ``sizes`` / ``kind_codes`` are aligned
+    per-charged-hop arrays (``kinds[kind_codes[i]]`` is hop *i*'s message
+    kind); ``attempts`` is the per-hop transmission count or ``None`` when
+    every hop is a single transmission (perfect links).  ``drops`` counts
+    link-loss message drops.  ``uniform`` is an optional fast form
+    ``(size_bytes, kind, sender_counts, receiver_counts, total_hops)`` set
+    when the whole batch is one perfect-links :class:`PreparedPaths`
+    transfer -- sinks should consume it instead of the hop arrays (which are
+    still populated for uniform batches).
+
+    :meth:`iter_records` exposes the per-path view -- the exact
+    ``charge_path`` / ``charge_drop`` call sequence the per-tuple reference
+    would have made -- so sinks that never implemented the batch event are
+    replayed losslessly by the pipeline's unroll adapter.
+    """
+
+    __slots__ = ("senders", "receivers", "sizes", "attempts", "kind_codes",
+                 "kinds", "drops", "uniform", "_record_groups",
+                 "_uniform_source", "_prepared_lossy")
+
+    def __init__(self, senders, receivers, sizes, attempts, kind_codes,
+                 kinds, drops, uniform=None, record_groups=()) -> None:
+        self.senders = senders
+        self.receivers = receivers
+        self.sizes = sizes
+        self.attempts = attempts
+        self.kind_codes = kind_codes
+        self.kinds = kinds
+        self.drops = drops
+        self.uniform = uniform
+        self._record_groups = record_groups
+        self._uniform_source = None
+        self._prepared_lossy = None
+
+    @classmethod
+    def from_prepared(cls, prepared: PreparedPaths, size_bytes: int,
+                      kind: MessageKind) -> "PathBatch":
+        """The perfect-links uniform batch for one prepared transfer."""
+        batch = cls(
+            senders=prepared.senders,
+            receivers=prepared.receivers,
+            sizes=np.full(prepared.total_hops, float(size_bytes)),
+            attempts=None,
+            kind_codes=np.zeros(prepared.total_hops, dtype=np.int64),
+            kinds=(kind,),
+            drops=0,
+            uniform=(size_bytes, kind, prepared.sender_counts,
+                     prepared.receiver_counts, prepared.total_hops),
+        )
+        batch._uniform_source = (prepared, size_bytes, kind)
+        return batch
+
+    @classmethod
+    def from_prepared_lossy(cls, prepared: PreparedPaths, size_bytes: int,
+                            kind: MessageKind, attempts: np.ndarray,
+                            delivered: np.ndarray, charged: np.ndarray
+                            ) -> "PathBatch":
+        """A lossy prepared transfer: hops masked to their charged prefix."""
+        keep = prepared.within < np.repeat(charged, prepared.lens)
+        batch = cls(
+            senders=prepared.senders[keep],
+            receivers=prepared.receivers[keep],
+            sizes=np.full(int(np.count_nonzero(keep)), float(size_bytes)),
+            attempts=attempts[keep],
+            kind_codes=np.zeros(int(np.count_nonzero(keep)), dtype=np.int64),
+            kinds=(kind,),
+            drops=int(np.count_nonzero(~delivered)),
+        )
+        batch._prepared_lossy = (prepared, size_bytes, kind, attempts,
+                                 delivered, charged)
+        return batch
+
+    def iter_records(self) -> Iterator[Tuple[Any, int, MessageKind,
+                                             Optional[np.ndarray],
+                                             Optional[int], bool]]:
+        """Per-path ``(path, size_bytes, kind, attempts, num_hops, dropped)``.
+
+        Mirrors the reference call sequence exactly: a delivered path is
+        ``charge_path(path, size, kind, attempts=attempts)`` (``attempts``
+        ``None`` on perfect links), a dropped one is ``charge_path(...,
+        num_hops=first_failed_hop + 1)`` followed by ``charge_drop()``.
+        """
+        if self._uniform_source is not None:
+            prepared, size_bytes, kind = self._uniform_source
+            for path in prepared.paths:
+                if len(path) > 1:
+                    yield path, size_bytes, kind, None, None, False
+            return
+        if self._prepared_lossy is not None:
+            prepared, size_bytes, kind, attempts, delivered, charged = \
+                self._prepared_lossy
+            starts = prepared.starts
+            lens = prepared.lens
+            row = 0
+            for path in prepared.paths:
+                if len(path) <= 1:
+                    continue
+                start = int(starts[row])
+                per_path = attempts[start:start + int(lens[row])]
+                if delivered[row]:
+                    yield path, size_bytes, kind, per_path, None, False
+                else:
+                    yield (path, size_bytes, kind, per_path,
+                           int(charged[row]), True)
+                row += 1
+            return
+        for kind, size_bytes, records in self._record_groups:
+            for path, attempts, num_hops, dropped in records:
+                yield path, size_bytes, kind, attempts, num_hops, dropped
+
+
+class _BatchGroup:
+    """Accumulated hops for one (kind, size) combination within a cycle."""
+
+    __slots__ = ("senders", "receivers", "attempts", "records", "drops")
+
+    def __init__(self) -> None:
+        self.senders: List[int] = []
+        self.receivers: List[int] = []
+        self.attempts: List[int] = []
+        self.records: List[Tuple] = []
+        self.drops = 0
+
+
+class CycleBatcher:
+    """Collects one sampling cycle's ships into a single pipeline event.
+
+    Strategies ship through :meth:`ship` (drop-in for ``ctx.ship``: the
+    delivery outcome is returned immediately, so conditional control flow is
+    unchanged) or :meth:`ship_many` (one batched link-model draw for a whole
+    path list).  :meth:`flush` emits everything accumulated as one
+    ``charge_paths_batch`` event -- the flyweight invariant of the batch
+    kernel: one event per cycle, no matter how many tuples shipped.
+
+    Exactness: on lossy links :meth:`ship` draws ``attempt_hops`` at ship
+    time (the same call, on the same stream, the reference ``transfer``
+    would make) and :meth:`ship_many` draws once via ``attempt_hops_batch``
+    (bit-identical to consecutive per-path draws); zero-hop paths consume no
+    randomness in either mode, matching ``ctx.ship``'s early return.
+    """
+
+    def __init__(self, simulator) -> None:
+        self.simulator = simulator
+        self.links = simulator.links
+        self.lossless = simulator.links.loss_probability == 0.0
+        self._groups: Dict[Tuple[MessageKind, int], _BatchGroup] = {}
+
+    def _group(self, kind: MessageKind, size_bytes: int) -> _BatchGroup:
+        key = (kind, size_bytes)
+        group = self._groups.get(key)
+        if group is None:
+            group = self._groups[key] = _BatchGroup()
+        return group
+
+    # -- shipping -----------------------------------------------------------
+    def ship(self, path: Sequence[int], size_bytes: int,
+             kind: MessageKind = MessageKind.DATA) -> bool:
+        """Defer one path's charge; returns whether it was delivered."""
+        hops = len(path) - 1
+        if hops <= 0:
+            return True
+        group = self._group(kind, size_bytes)
+        if self.lossless:
+            group.senders.extend(path[:hops])
+            group.receivers.extend(path[1:])
+            group.records.append((path, None, None, False))
+            return True
+        delivered, attempts = self.links.attempt_hops(hops)
+        if delivered.all():
+            group.senders.extend(path[:hops])
+            group.receivers.extend(path[1:])
+            group.attempts.extend(attempts.tolist())
+            group.records.append((path, attempts, None, False))
+            return True
+        charged = int(np.argmax(~delivered)) + 1
+        group.senders.extend(path[:charged])
+        group.receivers.extend(path[1:charged + 1])
+        group.attempts.extend(attempts[:charged].tolist())
+        group.records.append((path, attempts, charged, True))
+        group.drops += 1
+        return False
+
+    def ship_many(self, paths: Sequence[Sequence[int]], size_bytes: int,
+                  kind: MessageKind = MessageKind.DATA) -> np.ndarray:
+        """Defer many paths' charges with one batched link-model draw.
+
+        Returns the per-path delivered flags.  Equivalent to calling
+        :meth:`ship` per path in order (same RNG stream, same charges).
+        """
+        n = len(paths)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        group = self._group(kind, size_bytes)
+        senders = group.senders
+        receivers = group.receivers
+        records = group.records
+        if self.lossless:
+            for path in paths:
+                hops = len(path) - 1
+                if hops <= 0:
+                    continue
+                senders.extend(path[:hops])
+                receivers.extend(path[1:])
+                records.append((path, None, None, False))
+            return np.ones(n, dtype=bool)
+        lens = np.fromiter(
+            (len(path) - 1 for path in paths), count=n, dtype=np.int64
+        )
+        np.maximum(lens, 0, out=lens)
+        delivered_hops, attempts = self.links.attempt_hops_batch(lens)
+        delivered, charged, starts = _segment_outcomes(lens, delivered_hops)
+        att_list = group.attempts
+        drops = 0
+        for index, path in enumerate(paths):
+            hops = int(lens[index])
+            if hops == 0:
+                continue
+            start = int(starts[index])
+            per_path = attempts[start:start + hops]
+            span = int(charged[index])
+            senders.extend(path[:span])
+            receivers.extend(path[1:span + 1])
+            att_list.extend(per_path[:span].tolist())
+            if delivered[index]:
+                records.append((path, per_path, None, False))
+            else:
+                records.append((path, per_path, span, True))
+                drops += 1
+        group.drops += drops
+        return delivered
+
+    # -- flushing -----------------------------------------------------------
+    def flush(self) -> None:
+        """Emit everything accumulated as one ``charge_paths_batch`` event."""
+        groups = self._groups
+        if not groups:
+            return
+        self._groups = {}
+        sender_parts: List[np.ndarray] = []
+        receiver_parts: List[np.ndarray] = []
+        size_parts: List[np.ndarray] = []
+        attempt_parts: List[np.ndarray] = []
+        code_parts: List[np.ndarray] = []
+        kinds: List[MessageKind] = []
+        record_groups: List[Tuple] = []
+        drops = 0
+        for (kind, size_bytes), group in groups.items():
+            count = len(group.senders)
+            if count == 0:
+                continue
+            code = len(kinds)
+            kinds.append(kind)
+            sender_parts.append(np.asarray(group.senders, dtype=np.int64))
+            receiver_parts.append(np.asarray(group.receivers, dtype=np.int64))
+            size_parts.append(np.full(count, float(size_bytes)))
+            code_parts.append(np.full(count, code, dtype=np.int64))
+            if not self.lossless:
+                attempt_parts.append(np.asarray(group.attempts, dtype=np.int64))
+            record_groups.append((kind, size_bytes, group.records))
+            drops += group.drops
+        if not kinds:
+            return
+        if len(kinds) == 1:
+            batch = PathBatch(
+                senders=sender_parts[0], receivers=receiver_parts[0],
+                sizes=size_parts[0],
+                attempts=attempt_parts[0] if attempt_parts else None,
+                kind_codes=code_parts[0], kinds=tuple(kinds), drops=drops,
+                record_groups=record_groups,
+            )
+        else:
+            batch = PathBatch(
+                senders=np.concatenate(sender_parts),
+                receivers=np.concatenate(receiver_parts),
+                sizes=np.concatenate(size_parts),
+                attempts=(np.concatenate(attempt_parts)
+                          if attempt_parts else None),
+                kind_codes=np.concatenate(code_parts),
+                kinds=tuple(kinds), drops=drops,
+                record_groups=record_groups,
+            )
+        self.simulator.pipeline.charge_paths_batch(batch)

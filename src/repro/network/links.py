@@ -85,6 +85,32 @@ class LinkModel:
         trials = self._rng.geometric(1.0 - self.loss_probability, size=count)
         return trials <= limit, np.minimum(trials, limit)
 
+    def attempt_hops_batch(self, path_lengths) -> tuple:
+        """Batched :meth:`attempt_hops` for many consecutive paths.
+
+        *path_lengths* is a sequence of per-path hop counts; the return value
+        is ``(delivered, attempts)`` as flat arrays of ``sum(path_lengths)``
+        hops, path after path.  The draws are **bit-identical** to calling
+        ``attempt_hops(n)`` once per path in order: numpy generates geometric
+        variates sequentially regardless of the requested size, so one
+        ``sum``-sized draw consumes the generator stream exactly like the
+        equivalent sequence of smaller draws (the batch-kernel parity tests
+        rely on this to keep lossy runs bit-identical to the per-tuple
+        reference path).
+        """
+        lengths = np.asarray(path_lengths, dtype=np.int64)
+        if lengths.size and int(lengths.min()) < 0:
+            raise ValueError("path lengths must be non-negative")
+        total = int(lengths.sum())
+        if self.loss_probability == 0.0:
+            return (
+                np.ones(total, dtype=bool),
+                np.ones(total, dtype=np.int64),
+            )
+        limit = self.max_retransmissions + 1
+        trials = self._rng.geometric(1.0 - self.loss_probability, size=total)
+        return trials <= limit, np.minimum(trials, limit)
+
     def expected_attempts(self) -> float:
         """Expected transmissions per successful hop (for analytic checks)."""
         if self.loss_probability == 0.0:

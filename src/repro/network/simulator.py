@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.metrics.latency import LatencySink
 from repro.metrics.pipeline import MetricsPipeline, MetricsSink
+from repro.network.batch import PathBatch, PreparedPaths, _segment_outcomes
 from repro.network.links import LinkModel, perfect_links
 from repro.network.message import Message, MessageKind, MessageSizes
 from repro.network.topology import Topology
@@ -254,6 +255,68 @@ class NetworkSimulator:
         if deliver:
             self._deliver_instant(path, size_bytes, kind, payload)
         return True
+
+    def prepare_paths(self, paths: Sequence[Sequence[int]]) -> PreparedPaths:
+        """Pre-flatten *paths* for repeated :meth:`transfer_many` calls.
+
+        Preparation hoists the per-path Python work (hop slicing, per-node
+        hop counts) out of the hot loop: a prepared perfect-links transfer
+        charges the whole set with two cached-``bincount`` vector adds.
+        """
+        nodes = self.topology.nodes
+        minlength = (max(nodes) + 1) if nodes else 0
+        return PreparedPaths(paths, minlength=minlength)
+
+    def transfer_many(
+        self,
+        paths: "Sequence[Sequence[int]] | PreparedPaths",
+        size_bytes: int,
+        kind: MessageKind = MessageKind.DATA,
+    ) -> np.ndarray:
+        """Charge many same-size, same-kind paths in one vectorized call.
+
+        Returns the per-path delivered flags.  Bit-identical -- traffic
+        statistics *and* consumed RNG stream -- to calling :meth:`transfer`
+        once per path in order: on lossy links the single
+        :meth:`~repro.network.links.LinkModel.attempt_hops_batch` draw equals
+        the per-path ``attempt_hops`` draws, and the aggregated charges sum
+        the same integer-valued units.  When the fast-path conditions do not
+        hold (per-hop queue bookkeeping, dead nodes on any path), every path
+        falls back to the per-tuple reference implementation.
+        """
+        prepared = (
+            paths if isinstance(paths, PreparedPaths)
+            else self.prepare_paths(paths)
+        )
+        if not (
+            self.fast_transport
+            and self.queue_capacity is None
+            and self._current_alive_set().issuperset(prepared.node_set)
+        ):
+            return np.fromiter(
+                (self.transfer(path, size_bytes, kind)
+                 for path in prepared.paths),
+                count=prepared.n, dtype=bool,
+            )
+        if self.links.loss_probability == 0.0:
+            if prepared.total_hops:
+                self.pipeline.charge_paths_batch(
+                    PathBatch.from_prepared(prepared, size_bytes, kind)
+                )
+            return np.ones(prepared.n, dtype=bool)
+        delivered_hops, attempts = self.links.attempt_hops_batch(prepared.lens)
+        delivered, charged, _starts = _segment_outcomes(
+            prepared.lens, delivered_hops
+        )
+        if prepared.total_hops:
+            self.pipeline.charge_paths_batch(
+                PathBatch.from_prepared_lossy(
+                    prepared, size_bytes, kind, attempts, delivered, charged
+                )
+            )
+        out = np.ones(prepared.n, dtype=bool)
+        out[prepared.active] = delivered
+        return out
 
     def _deliver_instant(
         self,

@@ -15,9 +15,10 @@ Appendix F).
 from __future__ import annotations
 
 from collections import defaultdict
-from dataclasses import dataclass, field
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.network.message import MessageKind
 
@@ -29,7 +30,6 @@ class TrafficAccounting(Enum):
     MESSAGES = "messages"
 
 
-@dataclass
 class TrafficStats:
     """Per-node and aggregate transmission counters.
 
@@ -37,19 +37,77 @@ class TrafficStats:
     double as the pipeline's event signatures, so the simulator's charge
     points feed this object directly (one event per flyweight path charge)
     while additional sinks observe the same events.
+
+    Batched charges (the ``charge_paths_batch`` event of the batch-cycle
+    kernel) accumulate lazily in dense per-node numpy arrays and are folded
+    into the per-node dictionaries on first read -- the :attr:`transmitted`
+    and :attr:`received` properties drain them, so every reader (including
+    direct dictionary access) always observes up-to-date counts.  Traffic
+    units are integer-valued, so the array arithmetic is bit-identical to
+    per-hop charging regardless of accumulation order.
     """
 
     #: Sink identifier on the metrics pipeline.
     name = "traffic"
 
-    accounting: TrafficAccounting = TrafficAccounting.BYTES
-    transmitted: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
-    received: Dict[int, float] = field(default_factory=lambda: defaultdict(float))
-    by_kind: Dict[MessageKind, float] = field(default_factory=lambda: defaultdict(float))
-    messages_sent: int = 0
-    messages_dropped: int = 0
-    queue_drops: int = 0
+    def __init__(self,
+                 accounting: TrafficAccounting = TrafficAccounting.BYTES
+                 ) -> None:
+        self.accounting = accounting
+        self._transmitted: Dict[int, float] = defaultdict(float)
+        self._received: Dict[int, float] = defaultdict(float)
+        self.by_kind: Dict[MessageKind, float] = defaultdict(float)
+        self.messages_sent = 0
+        self.messages_dropped = 0
+        self.queue_drops = 0
+        self._pending_tx: Optional[np.ndarray] = None
+        self._pending_rx: Optional[np.ndarray] = None
+        self._pending_dirty = False
 
+    # -- per-node views (draining any pending batched charges) ---------------
+    @property
+    def transmitted(self) -> Dict[int, float]:
+        """Per-node transmitted units (live dictionary)."""
+        if self._pending_dirty:
+            self._drain()
+        return self._transmitted
+
+    @property
+    def received(self) -> Dict[int, float]:
+        """Per-node received units (live dictionary)."""
+        if self._pending_dirty:
+            self._drain()
+        return self._received
+
+    def _drain(self) -> None:
+        self._pending_dirty = False
+        for pending, target in ((self._pending_tx, self._transmitted),
+                                (self._pending_rx, self._received)):
+            if pending is None:
+                continue
+            nonzero = np.flatnonzero(pending)
+            if nonzero.size:
+                values = pending[nonzero]
+                for node_id, value in zip(nonzero.tolist(), values.tolist()):
+                    target[node_id] += value
+                pending[nonzero] = 0.0
+
+    def _accumulate(self, tx_counts: np.ndarray, rx_counts: np.ndarray) -> None:
+        size = max(tx_counts.shape[0], rx_counts.shape[0])
+        if self._pending_tx is None or self._pending_tx.shape[0] < size:
+            grown = max(size, 2 * (0 if self._pending_tx is None
+                                   else self._pending_tx.shape[0]))
+            for attr in ("_pending_tx", "_pending_rx"):
+                fresh = np.zeros(grown, dtype=np.float64)
+                old = getattr(self, attr)
+                if old is not None:
+                    fresh[:old.shape[0]] = old
+                setattr(self, attr, fresh)
+        self._pending_tx[:tx_counts.shape[0]] += tx_counts
+        self._pending_rx[:rx_counts.shape[0]] += rx_counts
+        self._pending_dirty = True
+
+    # -- charge events -------------------------------------------------------
     def charge_transmission(
         self,
         node_id: int,
@@ -60,11 +118,11 @@ class TrafficStats:
     ) -> None:
         """Record *attempts* transmissions of a message by *node_id*."""
         units = self._units(size_bytes) * attempts
-        self.transmitted[node_id] += units
+        self._transmitted[node_id] += units
         self.by_kind[kind] += units
         self.messages_sent += attempts
         if receiver is not None:
-            self.received[receiver] += self._units(size_bytes)
+            self._received[receiver] += self._units(size_bytes)
 
     def charge_path(
         self,
@@ -94,8 +152,8 @@ class TrafficStats:
             if self.accounting is TrafficAccounting.BYTES
             else 1.0
         )
-        transmitted = self.transmitted
-        received = self.received
+        transmitted = self._transmitted
+        received = self._received
         if attempts is None:
             if hops == 1:  # single radio hop: the most common charge
                 transmitted[path[0]] += units
@@ -118,6 +176,64 @@ class TrafficStats:
             self.by_kind[kind] += units * total_attempts
             self.messages_sent += total_attempts
 
+    def charge_paths_batch(self, batch) -> None:
+        """Array-level charge of a whole cycle's paths (batch kernel).
+
+        Equivalent to the per-path :meth:`charge_path` / :meth:`charge_drop`
+        sequence the batch's records describe: per-node counts accumulate via
+        ``np.bincount`` into the pending arrays, per-kind and message
+        counters update from the same weights.  Bit-identical because every
+        addend is an integer-valued float.
+        """
+        uniform = batch.uniform
+        if uniform is not None:
+            size_bytes, kind, tx_counts, rx_counts, total_hops = uniform
+            units = (
+                float(size_bytes)
+                if self.accounting is TrafficAccounting.BYTES
+                else 1.0
+            )
+            if units == 1.0:
+                self._accumulate(tx_counts, rx_counts)
+            else:
+                self._accumulate(tx_counts * units, rx_counts * units)
+            self.by_kind[kind] += units * total_hops
+            self.messages_sent += total_hops
+        else:
+            senders = batch.senders
+            if senders.size:
+                attempts = batch.attempts
+                if self.accounting is TrafficAccounting.BYTES:
+                    rx_weights: Optional[np.ndarray] = batch.sizes
+                    tx_weights = (
+                        batch.sizes if attempts is None
+                        else batch.sizes * attempts
+                    )
+                else:
+                    rx_weights = None
+                    tx_weights = (
+                        None if attempts is None
+                        else attempts.astype(np.float64)
+                    )
+                self._accumulate(
+                    np.bincount(senders, weights=tx_weights).astype(
+                        np.float64, copy=False),
+                    np.bincount(batch.receivers, weights=rx_weights).astype(
+                        np.float64, copy=False),
+                )
+                per_kind = np.bincount(
+                    batch.kind_codes, weights=tx_weights,
+                    minlength=len(batch.kinds),
+                )
+                for code, kind in enumerate(batch.kinds):
+                    self.by_kind[kind] += float(per_kind[code])
+                self.messages_sent += (
+                    int(attempts.sum()) if attempts is not None
+                    else int(senders.size)
+                )
+        if batch.drops:
+            self.messages_dropped += batch.drops
+
     def charge_broadcast(
         self,
         node_id: int,
@@ -127,10 +243,10 @@ class TrafficStats:
     ) -> None:
         """One local broadcast: a single transmission heard by *receivers*."""
         units = self._units(size_bytes)
-        self.transmitted[node_id] += units
+        self._transmitted[node_id] += units
         self.by_kind[kind] += units
         self.messages_sent += 1
-        received = self.received
+        received = self._received
         for receiver in receivers:
             received[receiver] += units
 
@@ -181,9 +297,9 @@ class TrafficStats:
         merged = TrafficStats(accounting=self.accounting)
         for source in (self, other):
             for node_id, units in source.transmitted.items():
-                merged.transmitted[node_id] += units
+                merged._transmitted[node_id] += units
             for node_id, units in source.received.items():
-                merged.received[node_id] += units
+                merged._received[node_id] += units
             for kind, units in source.by_kind.items():
                 merged.by_kind[kind] += units
             merged.messages_sent += source.messages_sent
@@ -192,12 +308,16 @@ class TrafficStats:
         return merged
 
     def reset(self) -> None:
-        self.transmitted.clear()
-        self.received.clear()
+        self._transmitted.clear()
+        self._received.clear()
         self.by_kind.clear()
         self.messages_sent = 0
         self.messages_dropped = 0
         self.queue_drops = 0
+        if self._pending_tx is not None:
+            self._pending_tx[:] = 0.0
+            self._pending_rx[:] = 0.0
+        self._pending_dirty = False
 
     def snapshot(self) -> Dict[str, object]:
         """A flat summary used by the experiment harness.

@@ -1,0 +1,106 @@
+"""Batch-cycle kernel parity: batched runs are bit-identical to per-tuple.
+
+The acceptance bar of the batch-cycle kernel: on the fig02/fig14/fig18
+smoke workloads -- including lossy links, instrumentation sinks, failure
+phases and mobility phases -- every traffic figure produced with
+``batch_cycles=True`` (the default) equals the per-tuple reference
+(``batch_cycles=False``) exactly, and the knob stays out of the run key so
+stored per-tuple results resume under the batched engine.
+"""
+
+import pytest
+
+from repro.engine import SCALES, ScenarioSpec, execute_run
+from repro.experiments.scenarios import BUILTIN_SCENARIOS
+
+SMOKE = SCALES["smoke"]
+
+TRAFFIC_FIELDS = ("total_traffic", "initiation_traffic", "computation_traffic",
+                  "base_traffic", "max_node_load", "messages_dropped",
+                  "queue_drops", "results_produced", "results_delivered")
+
+
+def _traffic_view(report):
+    return tuple(getattr(report, field) for field in TRAFFIC_FIELDS) + (
+        tuple(sorted(report.traffic_by_kind.items())),
+        tuple(report.top_loaded_nodes),
+        tuple(sorted(report.extra.items())),
+    )
+
+
+def _compare(scenario: ScenarioSpec, limit=None):
+    batched = scenario.expand(SMOKE)
+    reference = scenario.with_overrides(batch_cycles=False).expand(SMOKE)
+    assert len(batched) == len(reference)
+    if limit is not None:
+        batched, reference = batched[:limit], reference[:limit]
+    for spec_on, spec_off in zip(batched, reference):
+        report_on = execute_run(spec_on).report
+        report_off = execute_run(spec_off).report
+        assert _traffic_view(report_on) == _traffic_view(report_off), (
+            f"batch/per-tuple divergence: {spec_on.algorithm} "
+            f"{spec_on.setting_dict()}"
+        )
+
+
+class TestBatchParity:
+    def test_fig02_smoke_subset(self):
+        _compare(BUILTIN_SCENARIOS["fig02-smoke"]().with_overrides(
+            algorithms=("naive", "base", "innet-cmpg", "ght"),
+            grid={"ratio": ["1/2:1/2"], "sigma_st": [0.2]},
+        ))
+
+    def test_fig02_smoke_lossy_links(self):
+        _compare(BUILTIN_SCENARIOS["fig02-smoke"]().with_overrides(
+            algorithms=("naive", "base", "innet-cmpg"),
+            grid={"ratio": ["1/2:1/2"], "sigma_st": [0.2]},
+            link_loss=0.2,
+        ))
+
+    def test_fig14_smoke_failure_phases(self):
+        """Mid-run failure injection drops back to the per-tuple reference
+        path automatically -- and still matches it exactly."""
+        _compare(BUILTIN_SCENARIOS["fig14-smoke"]())
+
+    def test_fig18_mesh_at_smoke_scale(self):
+        _compare(BUILTIN_SCENARIOS["fig18"](), limit=6)
+
+    def test_instrumented_lossy_run(self):
+        _compare(BUILTIN_SCENARIOS["fig02-smoke"]().with_overrides(
+            algorithms=("naive", "innet-cmpg"),
+            grid={"ratio": ["1/2:1/2"], "sigma_st": [0.2]},
+            link_loss=0.15,
+            sinks=({"sink": "energy", "capacity_uj": 20_000.0},
+                   "hotspots", "latency"),
+        ))
+
+
+class TestBatchKnob:
+    def test_default_batched_run_keeps_per_tuple_run_key(self):
+        scenario = ScenarioSpec(name="plain", query="query1",
+                                algorithms=("naive",), cycles=3)
+        batched = scenario.expand(SMOKE)[0]
+        reference = scenario.with_overrides(batch_cycles=False).expand(SMOKE)[0]
+        assert batched.batch_cycles and not reference.batch_cycles
+        assert batched.run_key() != reference.run_key()
+        payload = batched.to_dict()
+        assert payload["batch_cycles"] is True
+        # scenario spec hashes are stable across the kernel's introduction
+        assert "batch_cycles" not in scenario.to_dict()
+        assert "batch_cycles" in \
+            scenario.with_overrides(batch_cycles=False).to_dict()
+
+    def test_batch_cycles_grid_axis(self):
+        scenario = ScenarioSpec(
+            name="knob-sweep", query="query1", algorithms=("naive",),
+            runs=1, cycles=3, grid={"batch_cycles": [True, False]},
+        )
+        specs = scenario.expand(SMOKE)
+        assert [spec.batch_cycles for spec in specs] == [True, False]
+
+    def test_scenario_round_trip(self):
+        scenario = ScenarioSpec(name="ref", query="query1",
+                                algorithms=("naive",), batch_cycles=False)
+        clone = ScenarioSpec.from_json(scenario.to_json())
+        assert clone == scenario
+        assert clone.batch_cycles is False

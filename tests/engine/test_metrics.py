@@ -98,12 +98,18 @@ class TestSpecSinks:
         assert clone.sink_entries() == [{"sink": "energy", "capacity_uj": 1000.0}]
 
     def test_empty_sinks_keep_pre_metrics_hash(self):
-        """Stored results from before the metrics subsystem stay valid."""
+        """Stored results from before the metrics subsystem stay valid.
+
+        Pre-metrics payloads carry neither the ``sinks`` nor the
+        ``batch_cycles`` knob; both are excluded from the run key at their
+        defaults, so the historical content hashes remain addressable.
+        """
         scenario = ScenarioSpec(name="plain", query="query1",
                                 algorithms=("naive",), cycles=3)
         spec = scenario.expand(SMOKE)[0]
         legacy_payload = spec.to_dict()
         del legacy_payload["sinks"]
+        del legacy_payload["batch_cycles"]
         legacy_payload["engine_version"] = ENGINE_VERSION
         assert spec.run_key() == content_hash(legacy_payload)
 

@@ -1,0 +1,253 @@
+"""Tests for the batch-cycle transport kernel (repro.network.batch).
+
+The kernel's contract is *bit-identity* with the per-tuple reference path:
+same delivery verdicts (same seeded RNG stream) and same accounting, with
+all charges emitted as one array-level pipeline event.  Every test here
+compares a batched execution against a freshly-seeded per-tuple run.
+"""
+
+import numpy as np
+import pytest
+
+from repro.metrics.pipeline import MetricsSink
+from repro.network.batch import CycleBatcher, PreparedPaths, _segment_outcomes
+from repro.network.links import lossy_links, perfect_links
+from repro.network.message import MessageKind
+from repro.network.simulator import NetworkSimulator
+from repro.network.topology import grid_topology
+
+
+def _sim(loss=0.0, seed=0, sinks=None):
+    topology = grid_topology(num_nodes=25)
+    links = perfect_links() if loss == 0.0 else lossy_links(loss, seed=seed)
+    return NetworkSimulator(topology, link_model=links, sinks=sinks)
+
+
+def _paths(simulator, count=None):
+    """Every node's path to the base (the Naive shipping pattern)."""
+    topology = simulator.topology
+    paths = [
+        topology.shortest_path(node_id, topology.base_id)
+        for node_id in topology.node_ids
+        if node_id != topology.base_id
+    ]
+    return paths[:count] if count is not None else paths
+
+
+def _traffic_view(simulator):
+    stats = simulator.stats
+    return (
+        dict(stats.transmitted),
+        dict(stats.received),
+        dict(stats.by_kind),
+        stats.messages_sent,
+        stats.messages_dropped,
+    )
+
+
+class TestSegmentOutcomes:
+    def test_all_delivered(self):
+        lens = np.array([2, 3, 1], dtype=np.int64)
+        delivered, charged, starts = _segment_outcomes(
+            lens, np.ones(6, dtype=bool)
+        )
+        assert delivered.all()
+        assert np.array_equal(charged, lens)
+        assert np.array_equal(starts, [0, 2, 5])
+
+    def test_first_failure_truncates_charge(self):
+        lens = np.array([3, 3], dtype=np.int64)
+        hops = np.array([True, False, True, False, False, True])
+        delivered, charged, _ = _segment_outcomes(lens, hops)
+        assert not delivered.any()
+        # charged up to and including the first failed hop
+        assert np.array_equal(charged, [2, 1])
+
+    def test_zero_length_segments_are_delivered(self):
+        lens = np.array([0, 2, 0], dtype=np.int64)
+        delivered, charged, _ = _segment_outcomes(
+            lens, np.array([True, False])
+        )
+        assert delivered.tolist() == [True, False, True]
+        assert charged.tolist() == [0, 2, 0]
+
+
+class TestTransferMany:
+    @pytest.mark.parametrize("loss", [0.0, 0.25])
+    def test_bit_identical_to_looped_transfer(self, loss):
+        batched = _sim(loss=loss, seed=7)
+        reference = _sim(loss=loss, seed=7)
+        paths = _paths(batched)
+        out = batched.transfer_many(paths, 24, MessageKind.DATA)
+        expected = np.array([
+            reference.transfer(path, 24, MessageKind.DATA) for path in paths
+        ])
+        assert np.array_equal(out, expected)
+        assert _traffic_view(batched) == _traffic_view(reference)
+
+    def test_prepared_paths_reusable_across_calls(self):
+        batched = _sim(loss=0.3, seed=3)
+        reference = _sim(loss=0.3, seed=3)
+        paths = _paths(batched)
+        prepared = batched.prepare_paths(paths)
+        for _ in range(5):
+            out = batched.transfer_many(prepared, 10, MessageKind.DATA)
+            expected = np.array([
+                reference.transfer(p, 10, MessageKind.DATA) for p in paths
+            ])
+            assert np.array_equal(out, expected)
+        assert _traffic_view(batched) == _traffic_view(reference)
+
+    def test_single_node_paths_deliver_without_charges(self):
+        simulator = _sim(loss=0.4, seed=2)
+        base = simulator.topology.base_id
+        out = simulator.transfer_many([[base], []], 16, MessageKind.DATA)
+        assert out.tolist() == [True, True]
+        assert simulator.stats.total() == 0.0
+        # and no randomness was consumed
+        fresh = lossy_links(0.4, seed=2)
+        assert simulator.links.attempt_hop() == fresh.attempt_hop()
+
+    def test_dead_node_falls_back_to_reference_path(self):
+        batched = _sim(loss=0.0)
+        reference = _sim(loss=0.0)
+        paths = _paths(batched)
+        victim = paths[0][0]
+        for simulator in (batched, reference):
+            simulator.topology.nodes[victim].fail()
+        out = batched.transfer_many(paths, 8, MessageKind.DATA)
+        expected = np.array([
+            reference.transfer(p, 8, MessageKind.DATA) for p in paths
+        ])
+        assert np.array_equal(out, expected)
+        assert not out[0]
+        assert _traffic_view(batched) == _traffic_view(reference)
+
+
+class TestCycleBatcher:
+    @pytest.mark.parametrize("loss", [0.0, 0.3])
+    def test_ship_matches_reference_transfer(self, loss):
+        batched = _sim(loss=loss, seed=5)
+        reference = _sim(loss=loss, seed=5)
+        batcher = CycleBatcher(batched)
+        paths = _paths(batched)
+        verdicts = [batcher.ship(p, 12, MessageKind.DATA) for p in paths]
+        batcher.flush()
+        expected = [
+            reference.transfer(p, 12, MessageKind.DATA) for p in paths
+        ]
+        assert verdicts == expected
+        assert _traffic_view(batched) == _traffic_view(reference)
+
+    @pytest.mark.parametrize("loss", [0.0, 0.3])
+    def test_ship_many_matches_per_path_ship(self, loss):
+        many = _sim(loss=loss, seed=9)
+        single = _sim(loss=loss, seed=9)
+        paths = _paths(many)
+        batcher_many = CycleBatcher(many)
+        out = batcher_many.ship_many(paths, 20, MessageKind.DATA)
+        batcher_many.flush()
+        batcher_single = CycleBatcher(single)
+        expected = [
+            batcher_single.ship(p, 20, MessageKind.DATA) for p in paths
+        ]
+        batcher_single.flush()
+        assert out.tolist() == expected
+        assert _traffic_view(many) == _traffic_view(single)
+
+    def test_mixed_kinds_and_sizes_in_one_flush(self):
+        batched = _sim(loss=0.2, seed=13)
+        reference = _sim(loss=0.2, seed=13)
+        paths = _paths(batched, count=8)
+        batcher = CycleBatcher(batched)
+        plan = [
+            (paths[0], 24, MessageKind.DATA),
+            (paths[1], 6, MessageKind.CONTROL),
+            (paths[2], 24, MessageKind.DATA),
+            (paths[3], 40, MessageKind.RESULT),
+            (paths[4], 6, MessageKind.CONTROL),
+        ]
+        verdicts = [batcher.ship(p, s, k) for p, s, k in plan]
+        batcher.flush()
+        expected = [reference.transfer(p, s, k) for p, s, k in plan]
+        assert verdicts == expected
+        assert _traffic_view(batched) == _traffic_view(reference)
+
+    def test_flush_emits_one_pipeline_event(self):
+        events = []
+
+        class Counter(MetricsSink):
+            name = "counter"
+
+            def charge_paths_batch(self, batch):
+                events.append(batch)
+
+        simulator = _sim(loss=0.0, sinks=[Counter()])
+        batcher = CycleBatcher(simulator)
+        for path in _paths(simulator):
+            batcher.ship(path, 10, MessageKind.DATA)
+        batcher.flush()
+        assert len(events) == 1
+        batcher.flush()  # empty: nothing further
+        assert len(events) == 1
+
+
+class TestUnrollAdapter:
+    """Sinks without a native batch handler observe replayed charges."""
+
+    class Recorder(MetricsSink):
+        name = "recorder"
+
+        def __init__(self):
+            self.calls = []
+
+        def charge_path(self, path, size_bytes, kind,
+                        attempts=None, num_hops=None):
+            self.calls.append((
+                tuple(path), size_bytes, kind,
+                tuple(attempts.tolist()) if attempts is not None else None,
+                num_hops,
+            ))
+
+        def charge_drop(self, queue_drop=False):
+            self.calls.append(("drop", queue_drop))
+
+    @pytest.mark.parametrize("loss", [0.0, 0.35])
+    def test_replay_reproduces_reference_call_sequence(self, loss):
+        batched_sink = self.Recorder()
+        reference_sink = self.Recorder()
+        batched = _sim(loss=loss, seed=21, sinks=[batched_sink])
+        reference = _sim(loss=loss, seed=21, sinks=[reference_sink])
+        paths = _paths(batched)
+        batcher = CycleBatcher(batched)
+        for path in paths:
+            batcher.ship(path, 18, MessageKind.DATA)
+        batcher.flush()
+        for path in paths:
+            reference.transfer(path, 18, MessageKind.DATA)
+        assert batched_sink.calls == reference_sink.calls
+        assert _traffic_view(batched) == _traffic_view(reference)
+
+    def test_replay_covers_prepared_transfer_many(self):
+        batched_sink = self.Recorder()
+        reference_sink = self.Recorder()
+        batched = _sim(loss=0.35, seed=4, sinks=[batched_sink])
+        reference = _sim(loss=0.35, seed=4, sinks=[reference_sink])
+        paths = _paths(batched)
+        batched.transfer_many(paths, 18, MessageKind.DATA)
+        for path in paths:
+            reference.transfer(path, 18, MessageKind.DATA)
+        assert batched_sink.calls == reference_sink.calls
+
+
+class TestPreparedPaths:
+    def test_counts_and_flattening(self):
+        prepared = PreparedPaths([[1, 2, 3], [4], [2, 3]], minlength=6)
+        assert prepared.n == 3
+        assert prepared.active.tolist() == [0, 2]
+        assert prepared.lens.tolist() == [2, 1]
+        assert prepared.senders.tolist() == [1, 2, 2]
+        assert prepared.receivers.tolist() == [2, 3, 3]
+        assert prepared.total_hops == 3
+        assert prepared.sender_counts.tolist() == [0, 1, 2, 0, 0, 0]
+        assert prepared.receiver_counts.tolist() == [0, 0, 1, 2, 0, 0]
