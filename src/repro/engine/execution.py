@@ -61,6 +61,7 @@ def run_single(
     link_model: Optional[LinkModel] = None,
     sinks: Optional[List] = None,
     batch_cycles: bool = True,
+    node_series_cap: Optional[int] = None,
 ) -> RunResult:
     """One run of one algorithm.
 
@@ -87,6 +88,7 @@ def run_single(
         seed=seed,
         sinks=sinks,
         batch_cycles=batch_cycles,
+        node_series_cap=node_series_cap,
     )
     report = executor.run(cycles)
     return RunResult(algorithm=algorithm, seed=seed, report=report)
@@ -299,6 +301,7 @@ def _execute_join_run(spec: RunSpec) -> RunResult:
             link_model=link_model,
             sinks=sinks,
             batch_cycles=spec.batch_cycles,
+            node_series_cap=spec.node_series_cap,
         )
     return _run_phased(spec, query, topology, data_source, assumed,
                        injector, link_model, copy_topology=(
@@ -341,6 +344,7 @@ def _run_phased(spec: RunSpec, query: JoinQuery, topology: Topology,
         seed=spec.seed,
         sinks=sinks,
         batch_cycles=spec.batch_cycles,
+        node_series_cap=spec.node_series_cap,
     )
     executor.initiate()
     extra: Dict[str, float] = {}

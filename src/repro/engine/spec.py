@@ -336,6 +336,11 @@ class RunSpec:
     #: is excluded from the run key: batched runs keep the per-tuple content
     #: hash and resume stored results either way.
     batch_cycles: bool = True
+    #: Per-node series bound in the report (see
+    #: :func:`repro.metrics.pipeline.bound_node_series`).  ``None`` (the
+    #: default, excluded from the run key) keeps the executor's behavior:
+    #: full series at paper scale, auto-bounded above 10k nodes.
+    node_series_cap: Optional[int] = None
 
     @property
     def data_selectivities(self) -> Selectivities:
@@ -403,6 +408,10 @@ class RunSpec:
             # the batch kernel is bit-identical to the per-tuple reference,
             # so default-batched runs keep the per-tuple content hash
             del payload["batch_cycles"]
+        if payload["node_series_cap"] is None:
+            # reporting knob only (traffic metrics are unaffected); leaving
+            # the default out keeps every pre-cap stored result addressable
+            del payload["node_series_cap"]
         payload["engine_version"] = ENGINE_VERSION
         return content_hash(payload)
 
@@ -420,7 +429,7 @@ class RunSpec:
 _FIELD_AXES = {
     "query", "query_kwargs", "cycles", "cycles_factor", "num_nodes",
     "topology_preset", "topology_seed", "queue_capacity", "link_loss",
-    "accounting", "sinks", "batch_cycles",
+    "accounting", "sinks", "batch_cycles", "node_series_cap",
 }
 #: Grid axes with workload-specific handling.  ``ratio`` applies to both the
 #: data and the assumed selectivities; ``true_ratio`` to the data only and
@@ -578,6 +587,11 @@ class ScenarioSpec:
     #: (True) is omitted from :meth:`to_dict` to keep spec hashes stable.
     #: Sweepable via a ``batch_cycles`` grid axis.
     batch_cycles: bool = True
+    #: Per-node series bound applied to every run's report (``None`` =
+    #: executor default: full series, auto-bounded above 10k nodes).  A
+    #: reporting knob only; omitted from :meth:`to_dict` when unset so spec
+    #: hashes stay stable.  Sweepable via a ``node_series_cap`` grid axis.
+    node_series_cap: Optional[int] = None
     metrics: Tuple[str, ...] = ("total_traffic", "base_traffic", "max_node_load")
     seed_base: int = 0
     workload_seed_base: int = 100
@@ -647,6 +661,8 @@ class ScenarioSpec:
             # result store's campaign keys) stable across the kernel's
             # introduction
             del payload["batch_cycles"]
+        if payload["node_series_cap"] is None:
+            del payload["node_series_cap"]
         return payload
 
     @classmethod
@@ -842,6 +858,9 @@ class ScenarioSpec:
             ),
             batch_cycles=bool(
                 field_overrides.get("batch_cycles", self.batch_cycles)
+            ),
+            node_series_cap=field_overrides.get(
+                "node_series_cap", self.node_series_cap
             ),
         )
 

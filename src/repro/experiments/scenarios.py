@@ -157,6 +157,40 @@ def _lifetime_under_load_scenario() -> ScenarioSpec:
     )
 
 
+#: The massive-topology node ladder (see ROADMAP "scale ladder"): mote scale
+#: up to the 1M-node rung the sparse substrate exists for.
+SCALE_LADDER_RUNGS: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
+
+
+def _scale_ladder_scenario(rungs: Sequence[int] = SCALE_LADDER_RUNGS,
+                           name: str = "scale-ladder") -> ScenarioSpec:
+    """Strategy x ratio sweep up the sparse-substrate node ladder.
+
+    The ``scale`` preset grows the target degree logarithmically so random
+    deployments stay connected at every rung; past the sparse threshold the
+    CSR substrate engages automatically.  Cycles are pinned (not
+    scale-relative) because the ladder measures substrate cost per cycle,
+    not steady-state join behavior; reports auto-bound their per-node series
+    from the 10k rung up (see ``JoinExecutor``).  Wall-clock/RSS per rung is
+    recorded separately by ``repro.experiments.scale_bench``.
+    """
+    return ScenarioSpec(
+        name=name,
+        description="strategy x ratio sweep from mote scale toward 1M nodes "
+                    "on the sparse topology substrate (Query 0)",
+        query="query0-random",
+        query_kwargs={"seed": 1},
+        algorithms=("naive", "base"),
+        topology_preset="scale",
+        data={"sigma_st": 0.2},
+        grid={"num_nodes": list(rungs),
+              "ratio": ["1/2:1/2", "1:1/10"]},
+        runs=1,
+        cycles=5,
+        metrics=("total_traffic", "base_traffic", "max_node_load"),
+    )
+
+
 BUILTIN_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     "fig02": lambda: query_traffic_scenario("query1", "fig02"),
     "fig02-smoke": lambda: query_traffic_scenario(
@@ -186,6 +220,10 @@ BUILTIN_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     "table3": lambda: table3_scenario(),
     "appg": appg_scenario,
     "appg-smoke": lambda: appg_scenario(num_moves=2).with_overrides(name="appg-smoke"),
+    "scale-ladder": _scale_ladder_scenario,
+    "scale-ladder-smoke": lambda: _scale_ladder_scenario(
+        rungs=(1_000, 10_000), name="scale-ladder-smoke",
+    ),
     "ablation-threshold": _ablation_threshold_scenario,
     "ablation-trees": _ablation_trees_scenario,
     "energy-budget": _energy_budget_scenario,

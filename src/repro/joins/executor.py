@@ -19,6 +19,7 @@ from repro.joins.base import (
     JoinStrategy,
     SelectivityProvider,
 )
+from repro.metrics.pipeline import bound_node_series
 from repro.network.batch import CycleBatcher
 from repro.network.failures import FailureInjector
 from repro.network.links import LinkModel
@@ -28,6 +29,12 @@ from repro.network.topology import Topology
 from repro.network.traffic import TrafficAccounting
 from repro.query.analysis import analyze_query
 from repro.query.query import JoinQuery
+
+#: Reports for topologies at or above this node count bound their per-node
+#: series automatically (scale-ladder runs; paper-scale reports never hit it).
+AUTO_SERIES_CAP_NODES = 10_000
+#: Entries each series keeps when auto-bounded.
+AUTO_SERIES_CAP = 1024
 
 
 class JoinExecutor:
@@ -49,6 +56,7 @@ class JoinExecutor:
         seed: int = 0,
         sinks: Optional[Sequence] = None,
         batch_cycles: bool = True,
+        node_series_cap: Optional[int] = None,
     ) -> None:
         self.query = query
         self.topology = topology
@@ -76,6 +84,7 @@ class JoinExecutor:
         )
         self._initiated = False
         self._initiation_traffic = 0.0
+        self.node_series_cap = node_series_cap
         self.batch_cycles = batch_cycles
         self._batcher: Optional[CycleBatcher] = None
         self._batch_epoch = -1
@@ -163,6 +172,20 @@ class JoinExecutor:
         # and per-node series in ``node_series``; both are empty (preserving
         # the historical report exactly) unless extra sinks were registered.
         pipeline = self.simulator.pipeline
+        extra = pipeline.summaries()
+        node_series = pipeline.node_series()
+        cap = self.node_series_cap
+        if cap is None and len(self.topology.nodes) >= AUTO_SERIES_CAP_NODES:
+            cap = AUTO_SERIES_CAP
+        if cap is not None and node_series:
+            bounded_series = {}
+            for name, values in node_series.items():
+                bounded, summary = bound_node_series(values, cap)
+                bounded_series[name] = bounded
+                if summary is not None:
+                    for stat, value in summary.items():
+                        extra[f"{name}.{stat}"] = value
+            node_series = bounded_series
         return ExecutionReport(
             query_name=self.query.name,
             algorithm=self.strategy.name,
@@ -185,6 +208,6 @@ class JoinExecutor:
             reoptimizations=reoptimizations,
             join_nodes_used=self.strategy.join_nodes_used(),
             storage_tuples_peak=self.strategy.storage_peak,
-            extra=pipeline.summaries(),
-            node_series=pipeline.node_series(),
+            extra=extra,
+            node_series=node_series,
         )

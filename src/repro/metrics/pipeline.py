@@ -279,3 +279,33 @@ class MetricsPipeline:
             for series, values in series_fn().items():
                 merged[f"{name}.{series}"] = dict(values)
         return merged
+
+
+def bound_node_series(values: Dict[int, float], cap: int
+                      ) -> Tuple[Dict[int, float], Optional[Dict[str, float]]]:
+    """Bound one per-node series to its *cap* heaviest entries.
+
+    At 10k-1M nodes a full per-node series dominates the report's memory, so
+    large-scale runs keep only the top-*cap* nodes by value (ties broken
+    toward the lower node id, entries re-sorted by node id) plus
+    whole-population summary statistics.  Returns ``(bounded, summary)``;
+    ``summary`` is ``None`` when the series already fits, so bounded reports
+    at paper scale stay byte-identical to unbounded ones.
+    """
+    if cap < 0:
+        raise ValueError("node-series cap must be non-negative")
+    if len(values) <= cap:
+        return dict(values), None
+    ranked = sorted(values.items(), key=lambda item: (-item[1], item[0]))
+    bounded = dict(sorted(ranked[:cap]))
+    population = list(values.values())
+    total = float(sum(population))
+    summary = {
+        "nodes": float(len(population)),
+        "kept": float(cap),
+        "sum": total,
+        "mean": total / len(population),
+        "max": float(max(population)),
+        "min": float(min(population)),
+    }
+    return bounded, summary

@@ -15,6 +15,8 @@ and re-sampled if the resulting graph is disconnected.
 
 from __future__ import annotations
 
+import math
+import os
 from dataclasses import dataclass, field
 from typing import ClassVar, Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
@@ -29,6 +31,241 @@ DENSITY_PRESETS: Dict[str, float] = {
     "medium": 8.0,
     "dense": 13.0,
 }
+
+#: Deployments at or above this node count switch to the sparse substrate
+#: (grid-bucketed generation + CSR adjacency + array BFS) automatically.
+#: Paper-scale topologies (tens to hundreds of nodes) stay on the dict
+#: representation, which is the bit-identity reference.
+SPARSE_NODE_THRESHOLD = 4096
+
+
+def sparse_mode_enabled(num_nodes: int, sparse: Optional[bool] = None) -> bool:
+    """Resolve the sparse-substrate knob.
+
+    Priority: explicit *sparse* argument, then the ``REPRO_SPARSE``
+    environment variable (``1``/``true`` forces the sparse substrate on at
+    any scale, ``0``/``false`` forces the dense reference), then the
+    :data:`SPARSE_NODE_THRESHOLD` size cutoff.
+    """
+    if sparse is not None:
+        return bool(sparse)
+    env = os.environ.get("REPRO_SPARSE", "").strip().lower()
+    if env in ("1", "true", "yes", "on"):
+        return True
+    if env in ("0", "false", "no", "off"):
+        return False
+    return num_nodes >= SPARSE_NODE_THRESHOLD
+
+
+class CSRAdjacency:
+    """Compressed-sparse-row adjacency behind the dict-of-sets interface.
+
+    ``indptr``/``indices`` hold the symmetric neighbour lists of nodes
+    ``0..num_nodes-1`` (each row sorted ascending), which is what the sparse
+    generators produce.  The class quacks like the ``Dict[int, Set[int]]``
+    the rest of the codebase expects:
+
+    - reads go through :meth:`get` / iteration and return sorted neighbour
+      lists (cheap slices of the index array);
+    - the rare mutation paths (``remove_links_of`` / ``rebuild_links_of``
+      during mobility and failure experiments) go through ``__getitem__`` /
+      ``__setitem__``, which copy the affected row into a per-row overlay of
+      plain Python sets -- the CSR arrays themselves are immutable;
+    - :meth:`effective_csr` splices the overlay back into array form for the
+      vectorized BFS consumers, rebuilt lazily only after a mutation.
+
+    ``validated`` marks adjacencies whose symmetry is guaranteed by
+    construction, letting ``Topology.__post_init__`` skip its O(E) Python
+    validation loop (the dense dict path keeps validating as before).
+    """
+
+    __slots__ = (
+        "indptr", "indices", "num_nodes", "validated",
+        "_overlay", "_version", "_effective", "_effective_version",
+    )
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 num_nodes: int, validated: bool = False) -> None:
+        self.indptr = indptr
+        self.indices = indices
+        self.num_nodes = int(num_nodes)
+        self.validated = bool(validated)
+        self._overlay: Dict[int, Set[int]] = {}
+        self._version = 0
+        self._effective: Optional[Tuple[np.ndarray, np.ndarray]] = None
+        self._effective_version = -1
+
+    # -- reads ---------------------------------------------------------------
+    def _base_row(self, node_id: int) -> np.ndarray:
+        return self.indices[self.indptr[node_id]:self.indptr[node_id + 1]]
+
+    def row_list(self, node_id: int) -> List[int]:
+        """Sorted neighbour ids of one node as plain Python ints."""
+        if not 0 <= node_id < self.num_nodes:
+            return []
+        overlay = self._overlay.get(node_id)
+        if overlay is not None:
+            return sorted(overlay)
+        return self._base_row(node_id).tolist()
+
+    def get(self, node_id: int, default=None):
+        if isinstance(node_id, (int, np.integer)) and 0 <= node_id < self.num_nodes:
+            return self.row_list(int(node_id))
+        return default
+
+    def degree(self, node_id: int) -> int:
+        overlay = self._overlay.get(node_id)
+        if overlay is not None:
+            return len(overlay)
+        return int(self.indptr[node_id + 1] - self.indptr[node_id])
+
+    def total_degree(self) -> int:
+        total = int(self.indptr[-1])
+        for node_id, overlay in self._overlay.items():
+            total += len(overlay) - int(self.indptr[node_id + 1] - self.indptr[node_id])
+        return total
+
+    # -- mapping protocol ------------------------------------------------------
+    def __contains__(self, node_id) -> bool:
+        return isinstance(node_id, (int, np.integer)) and 0 <= node_id < self.num_nodes
+
+    def __iter__(self):
+        return iter(range(self.num_nodes))
+
+    def __len__(self) -> int:
+        return self.num_nodes
+
+    def keys(self):
+        return range(self.num_nodes)
+
+    def values(self):
+        return (set(self.row_list(node_id)) for node_id in range(self.num_nodes))
+
+    def items(self):
+        return (
+            (node_id, set(self.row_list(node_id)))
+            for node_id in range(self.num_nodes)
+        )
+
+    # -- mutation --------------------------------------------------------------
+    def __getitem__(self, node_id: int) -> Set[int]:
+        """The live, mutable row set (copied out of the CSR arrays on first use).
+
+        Callers mutate the returned set in place (``.add``/``.discard``), so
+        any access through here conservatively invalidates the effective-CSR
+        memo.
+        """
+        if not (isinstance(node_id, (int, np.integer)) and 0 <= node_id < self.num_nodes):
+            raise KeyError(node_id)
+        node_id = int(node_id)
+        overlay = self._overlay.get(node_id)
+        if overlay is None:
+            overlay = set(self._base_row(node_id).tolist())
+            self._overlay[node_id] = overlay
+        self._version += 1
+        return overlay
+
+    def __setitem__(self, node_id: int, value: Iterable[int]) -> None:
+        if not (isinstance(node_id, (int, np.integer)) and 0 <= node_id < self.num_nodes):
+            raise KeyError(node_id)
+        self._overlay[int(node_id)] = set(value)
+        self._version += 1
+
+    # -- array form -------------------------------------------------------------
+    def effective_csr(self) -> Tuple[np.ndarray, np.ndarray]:
+        """(indptr, indices) with any overlay mutations spliced back in."""
+        if not self._overlay:
+            return self.indptr, self.indices
+        if self._effective is None or self._effective_version != self._version:
+            rows: List[np.ndarray] = []
+            indptr = np.zeros(self.num_nodes + 1, dtype=np.int64)
+            for node_id in range(self.num_nodes):
+                overlay = self._overlay.get(node_id)
+                if overlay is None:
+                    row = self._base_row(node_id)
+                else:
+                    row = np.asarray(sorted(overlay), dtype=np.int32)
+                rows.append(row)
+                indptr[node_id + 1] = indptr[node_id] + row.shape[0]
+            indices = (
+                np.concatenate(rows) if rows else np.zeros(0, dtype=np.int32)
+            ).astype(np.int32, copy=False)
+            self._effective = (indptr, indices)
+            self._effective_version = self._version
+        return self._effective
+
+    def copy(self) -> "CSRAdjacency":
+        """Shares the immutable CSR arrays; deep-copies the mutation overlay."""
+        dup = CSRAdjacency(self.indptr, self.indices, self.num_nodes,
+                           validated=self.validated)
+        dup._overlay = {nid: set(row) for nid, row in self._overlay.items()}
+        return dup
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"CSRAdjacency(nodes={self.num_nodes}, "
+                f"edges={int(self.indptr[-1]) // 2}, "
+                f"overlaid={len(self._overlay)})")
+
+
+def _ragged_gather(indptr: np.ndarray, indices: np.ndarray,
+                   frontier: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+    """All CSR neighbours of *frontier*, in (frontier order x row order).
+
+    Returns ``(candidates, sources)`` where ``sources[k]`` is the frontier
+    node whose row produced ``candidates[k]``.
+    """
+    starts = indptr[frontier]
+    counts = indptr[frontier + 1] - starts
+    total = int(counts.sum())
+    if total == 0:
+        return np.zeros(0, dtype=indices.dtype), np.zeros(0, dtype=frontier.dtype)
+    offsets = np.cumsum(counts) - counts
+    within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+    candidates = indices[np.repeat(starts, counts) + within]
+    sources = np.repeat(frontier, counts)
+    return candidates, sources
+
+
+class _AliveAdjacencyView:
+    """Lazy per-row alive-neighbour view over a CSR adjacency.
+
+    Stands in for the eager ``{node: sorted alive neighbours}`` dict the
+    dict-mode :class:`PathCache` builds: the simulator's broadcast/flood paths
+    only ever call ``.get(node_id, default)``, so rows are materialized on
+    demand instead of all at once (which would be O(N+E) per epoch at 1M
+    nodes).
+    """
+
+    __slots__ = ("_indptr", "_indices", "_alive_mask", "_all_alive")
+
+    def __init__(self, indptr: np.ndarray, indices: np.ndarray,
+                 alive_mask: np.ndarray, all_alive: bool) -> None:
+        self._indptr = indptr
+        self._indices = indices
+        self._alive_mask = alive_mask
+        self._all_alive = all_alive
+
+    def _row(self, node_id: int) -> List[int]:
+        row = self._indices[self._indptr[node_id]:self._indptr[node_id + 1]]
+        if not self._all_alive:
+            row = row[self._alive_mask[row]]
+        return row.tolist()
+
+    def get(self, node_id, default=None):
+        if isinstance(node_id, (int, np.integer)) and \
+                0 <= node_id < self._alive_mask.shape[0]:
+            return self._row(int(node_id))
+        return default
+
+    def __getitem__(self, node_id: int) -> List[int]:
+        row = self.get(node_id)
+        if row is None:
+            raise KeyError(node_id)
+        return row
+
+    def __contains__(self, node_id) -> bool:
+        return isinstance(node_id, (int, np.integer)) and \
+            0 <= node_id < self._alive_mask.shape[0]
 
 
 class PathCache:
@@ -48,21 +285,41 @@ class PathCache:
     BFS discovery order matches the uncached implementation exactly (frontier
     order, sorted adjacency), so cached paths and hop tables are identical to
     the ones the seed code computed from scratch.
+
+    When the owning topology carries a :class:`CSRAdjacency` the cache runs
+    in *array mode*: hop/parent tables are int32 numpy vectors computed by a
+    level-synchronous vectorized BFS whose discovery order is identical to
+    the dict BFS (frontier order x sorted rows, first discoverer wins), and
+    the dict-shaped API lazily rebuilds dictionaries in that same insertion
+    order only when a caller asks for them.  Array mode also offers
+    landmark-based approximate hop estimates for the largest deployments,
+    where even one exact BFS table per queried source is too much state.
     """
 
     __slots__ = (
         "_topology", "epoch", "alive_set", "alive_adjacency",
         "_hops", "_parents", "_paths",
+        "array_mode", "_indptr", "_indices", "_alive_mask", "_all_alive",
+        "_arrays", "_landmarks",
     )
 
     def __init__(self, topology: "Topology") -> None:
         self._topology = topology
         self.epoch = -1
         self.alive_set: frozenset = frozenset()
-        self.alive_adjacency: Dict[int, List[int]] = {}
+        self.alive_adjacency = {}
         self._hops: Dict[int, Dict[int, int]] = {}
         self._parents: Dict[int, Dict[int, int]] = {}
         self._paths: Dict[Tuple[int, int], Optional[Tuple[int, ...]]] = {}
+        self.array_mode = False
+        self._indptr: Optional[np.ndarray] = None
+        self._indices: Optional[np.ndarray] = None
+        self._alive_mask: Optional[np.ndarray] = None
+        self._all_alive = True
+        #: source -> (hops int32[n], parents int32[n], discovery order int32)
+        self._arrays: Dict[int, Tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        #: landmark count -> (landmark ids int64[k], hop matrix int32[k, n])
+        self._landmarks: Dict[int, Tuple[np.ndarray, np.ndarray]] = {}
 
     # ------------------------------------------------------------------
     def validate(self) -> "PathCache":
@@ -71,38 +328,180 @@ class PathCache:
         epoch = topology.routing_epoch
         if epoch != self.epoch:
             nodes = topology.nodes
-            alive = frozenset(nid for nid, node in nodes.items() if node.alive)
-            self.alive_set = alive
-            self.alive_adjacency = {
-                nid: sorted(n for n in neighbours if n in alive)
-                for nid, neighbours in topology.adjacency.items()
-            }
+            adjacency = topology.adjacency
+            if isinstance(adjacency, CSRAdjacency):
+                self.array_mode = True
+                self._indptr, self._indices = adjacency.effective_csr()
+                num_nodes = adjacency.num_nodes
+                mask = np.ones(num_nodes, dtype=bool)
+                dead = [nid for nid, node in nodes.items() if not node.alive]
+                if dead:
+                    mask[np.asarray(dead, dtype=np.int64)] = False
+                    self.alive_set = frozenset(np.flatnonzero(mask).tolist())
+                else:
+                    self.alive_set = frozenset(range(num_nodes))
+                self._alive_mask = mask
+                self._all_alive = not dead
+                self.alive_adjacency = _AliveAdjacencyView(
+                    self._indptr, self._indices, mask, self._all_alive
+                )
+            else:
+                self.array_mode = False
+                self._indptr = self._indices = self._alive_mask = None
+                self._all_alive = True
+                alive = frozenset(nid for nid, node in nodes.items() if node.alive)
+                self.alive_set = alive
+                self.alive_adjacency = {
+                    nid: sorted(n for n in neighbours if n in alive)
+                    for nid, neighbours in topology.adjacency.items()
+                }
             self._hops.clear()
             self._parents.clear()
             self._paths.clear()
+            self._arrays.clear()
+            self._landmarks.clear()
             self.epoch = epoch
         return self
+
+    # ------------------------------------------------------------------
+    # array-mode internals
+    # ------------------------------------------------------------------
+    def _array_bfs(self, source: int) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Vectorized alive-subgraph BFS with dict-identical discovery order.
+
+        Candidates are gathered level by level in (frontier order x sorted
+        row) order; ``np.unique(..., return_index=True)`` keeps each node's
+        first occurrence, and re-sorting those indices restores the original
+        gather order -- exactly the "first discoverer wins" order of the
+        Python dict BFS.
+        """
+        cached = self._arrays.get(source)
+        if cached is not None:
+            return cached
+        indptr, indices, mask = self._indptr, self._indices, self._alive_mask
+        num_nodes = mask.shape[0]
+        hops = np.full(num_nodes, -1, dtype=np.int32)
+        parents = np.full(num_nodes, -1, dtype=np.int32)
+        hops[source] = 0
+        parents[source] = source
+        frontier = np.asarray([source], dtype=np.int32)
+        order_chunks = [frontier]
+        depth = 0
+        while frontier.size:
+            depth += 1
+            candidates, sources = _ragged_gather(indptr, indices, frontier)
+            if candidates.size == 0:
+                break
+            keep = mask[candidates] & (hops[candidates] < 0)
+            candidates = candidates[keep]
+            sources = sources[keep]
+            if candidates.size == 0:
+                break
+            _, first = np.unique(candidates, return_index=True)
+            first.sort()
+            newly = candidates[first]
+            hops[newly] = depth
+            parents[newly] = sources[first]
+            order_chunks.append(newly)
+            frontier = newly
+        order = np.concatenate(order_chunks)
+        result = (hops, parents, order)
+        self._arrays[source] = result
+        return result
+
+    def hops_array(self, source: int) -> np.ndarray:
+        """int32 hop vector from *source* (-1 = unreachable); array mode only."""
+        if not self.array_mode:
+            raise RuntimeError("hops_array requires a CSR-backed topology")
+        return self._array_bfs(source)[0]
+
+    def parents_array(self, source: int) -> np.ndarray:
+        if not self.array_mode:
+            raise RuntimeError("parents_array requires a CSR-backed topology")
+        return self._array_bfs(source)[1]
+
+    # ------------------------------------------------------------------
+    # landmark / approximate-BFS mode (largest rungs)
+    # ------------------------------------------------------------------
+    def landmark_tables(self, num_landmarks: int = 8
+                        ) -> Tuple[np.ndarray, np.ndarray]:
+        """Hop tables from *num_landmarks* spread sources (array mode only).
+
+        The base station is always the first landmark; the rest are spread
+        deterministically over the id range.  Returns ``(landmark_ids,
+        hop_matrix)`` with ``hop_matrix[k, n]`` the exact hop count from
+        landmark ``k`` to node ``n`` (-1 = unreachable).  Epoch-guarded like
+        every other table in this cache.
+        """
+        if not self.array_mode:
+            raise RuntimeError("landmark_tables requires a CSR-backed topology")
+        num_nodes = self._alive_mask.shape[0]
+        num_landmarks = max(1, min(int(num_landmarks), num_nodes))
+        cached = self._landmarks.get(num_landmarks)
+        if cached is not None:
+            return cached
+        spread = np.linspace(0, num_nodes - 1, num=num_landmarks, dtype=np.int64)
+        picks: List[int] = [self._topology.base_id]
+        for candidate in spread.tolist():
+            if len(picks) == num_landmarks:
+                break
+            if candidate not in picks:
+                picks.append(candidate)
+        landmark_ids = np.asarray(picks[:num_landmarks], dtype=np.int64)
+        matrix = np.vstack([
+            self._array_bfs(int(landmark))[0] for landmark in landmark_ids
+        ])
+        result = (landmark_ids, matrix)
+        self._landmarks[num_landmarks] = result
+        return result
+
+    def approx_hops(self, a: int, b: int, num_landmarks: int = 8) -> Optional[int]:
+        """Landmark upper bound on the hop distance between two nodes.
+
+        ``min over landmarks L of hops(L, a) + hops(L, b)`` -- never less
+        than the true distance, and exact whenever either endpoint is a
+        landmark.  ``None`` when no landmark reaches both endpoints.
+        """
+        if a == b:
+            return 0
+        _, matrix = self.landmark_tables(num_landmarks)
+        via_a = matrix[:, a]
+        via_b = matrix[:, b]
+        valid = (via_a >= 0) & (via_b >= 0)
+        if not bool(valid.any()):
+            return None
+        return int((via_a[valid].astype(np.int64) + via_b[valid]).min())
 
     # ------------------------------------------------------------------
     def bfs_tables(self, source: int) -> Tuple[Dict[int, int], Dict[int, int]]:
         """Memoized (hops, parents) tables of a BFS over the alive subgraph."""
         hops = self._hops.get(source)
         if hops is None:
-            adjacency = self.alive_adjacency
-            hops = {source: 0}
-            parents = {source: source}
-            frontier = [source]
-            depth = 0
-            while frontier:
-                depth += 1
-                next_frontier: List[int] = []
-                for current in frontier:
-                    for neighbour in adjacency.get(current, ()):
-                        if neighbour not in hops:
-                            hops[neighbour] = depth
-                            parents[neighbour] = current
-                            next_frontier.append(neighbour)
-                frontier = next_frontier
+            if self.array_mode:
+                hops_arr, parents_arr, order = self._array_bfs(source)
+                hops = {}
+                parents = {}
+                for nid, hop, parent in zip(order.tolist(),
+                                            hops_arr[order].tolist(),
+                                            parents_arr[order].tolist()):
+                    hops[nid] = hop
+                    parents[nid] = parent
+            else:
+                adjacency = self.alive_adjacency
+                hops = {source: 0}
+                parents = {source: source}
+                frontier = [source]
+                depth = 0
+                while frontier:
+                    depth += 1
+                    next_frontier: List[int] = []
+                    for current in frontier:
+                        for neighbour in adjacency.get(current, ()):
+                            if neighbour not in hops:
+                                hops[neighbour] = depth
+                                parents[neighbour] = current
+                                next_frontier.append(neighbour)
+                    frontier = next_frontier
             self._hops[source] = hops
             self._parents[source] = parents
         return hops, self._parents[source]
@@ -112,6 +511,20 @@ class PathCache:
         key = (source, target)
         if key in self._paths:
             return self._paths[key]
+        if self.array_mode:
+            # Climb the int32 parent vector directly: no per-pair Python
+            # dict tables are materialized for path queries at scale.
+            hops_arr, parents_arr, _ = self._array_bfs(source)
+            if hops_arr[target] < 0 and target != source:
+                self._paths[key] = None
+                return None
+            path = [int(target)]
+            while path[-1] != source:
+                path.append(int(parents_arr[path[-1]]))
+            path.reverse()
+            result = tuple(path)
+            self._paths[key] = result
+            return result
         _, parents = self.bfs_tables(source)
         if target not in parents:
             self._paths[key] = None
@@ -152,17 +565,28 @@ class Topology:
     def __post_init__(self) -> None:
         if self.base_id not in self.nodes:
             raise ValueError("base_id must refer to an existing node")
-        for node_id, neighbours in self.adjacency.items():
-            if node_id not in self.nodes:
-                raise ValueError(f"adjacency references unknown node {node_id}")
-            for other in neighbours:
-                if other not in self.nodes:
-                    raise ValueError(f"adjacency references unknown node {other}")
-                if node_id not in self.adjacency.get(other, set()):
-                    raise ValueError("adjacency must be symmetric")
+        if isinstance(self.adjacency, CSRAdjacency) and self.adjacency.validated:
+            # Symmetry is guaranteed by the sparse generator (every pair is
+            # inserted in both directions); re-checking would cost O(E)
+            # Python per construction, which is what this representation
+            # exists to avoid.  Validation is thereby O(1) amortized.
+            if self.adjacency.num_nodes != len(self.nodes):
+                raise ValueError("CSR adjacency size does not match node count")
+        else:
+            for node_id, neighbours in self.adjacency.items():
+                if node_id not in self.nodes:
+                    raise ValueError(f"adjacency references unknown node {node_id}")
+                for other in neighbours:
+                    if other not in self.nodes:
+                        raise ValueError(f"adjacency references unknown node {other}")
+                    if node_id not in self.adjacency.get(other, set()):
+                        raise ValueError("adjacency must be symmetric")
         self.nodes[self.base_id].is_base = True
         self._routing_epoch = 0
         self._path_cache = PathCache(self)
+        self._node_ids_cache: Optional[List[int]] = None
+        self._positions_cache: Optional[Dict[int, Position]] = None
+        self._positions_epoch = -1
         # Node death/recovery/moves must invalidate the routing caches even
         # when triggered directly on the node (e.g. by a FailureInjector).
         for node in self.nodes.values():
@@ -186,7 +610,18 @@ class Topology:
     # -- basic accessors -----------------------------------------------------
     @property
     def node_ids(self) -> List[int]:
-        return sorted(self.nodes)
+        """Sorted node ids (memoized -- treat the returned list as read-only).
+
+        The node set never changes after construction (mobility and failures
+        alter liveness and links, not membership), so one sort serves every
+        call; this property is hot in topology generation, workload setup and
+        the mobility phases.
+        """
+        ids = self._node_ids_cache
+        if ids is None or len(ids) != len(self.nodes):
+            ids = sorted(self.nodes)
+            self._node_ids_cache = ids
+        return ids
 
     @property
     def num_nodes(self) -> int:
@@ -202,24 +637,41 @@ class Topology:
     def neighbors(self, node_id: int, only_alive: bool = True) -> List[int]:
         """Neighbours of a node, optionally filtering out failed nodes.
 
-        The alive view comes from the precomputed adjacency in the routing
-        cache, so the per-call cost is one list copy instead of a filter+sort.
+        The alive view always comes from the epoch-validated adjacency in the
+        routing cache, so the per-call cost is one row copy; the cache
+        rebuilds at most once per connectivity change instead of re-filtering
+        ``nodes[n].alive`` and re-sorting on every invocation.  (The
+        ``routing_cache_enabled`` kill switch governs the BFS/path
+        memoization, not this precomputed view -- the view is rebuilt per
+        epoch either way and returns identical results.)
         """
         if not only_alive:
-            return sorted(self.adjacency.get(node_id, set()))
-        if not self.routing_cache_enabled:
-            return sorted(
-                n for n in self.adjacency.get(node_id, set()) if self.nodes[n].alive
-            )
+            adjacency = self.adjacency
+            if isinstance(adjacency, CSRAdjacency):
+                return adjacency.row_list(node_id)
+            return sorted(adjacency.get(node_id, set()))
         return list(self._path_cache.validate().alive_adjacency.get(node_id, ()))
 
     def average_degree(self) -> float:
         if not self.nodes:
             return 0.0
-        return sum(len(v) for v in self.adjacency.values()) / len(self.nodes)
+        adjacency = self.adjacency
+        if isinstance(adjacency, CSRAdjacency):
+            return adjacency.total_degree() / len(self.nodes)
+        return sum(len(v) for v in adjacency.values()) / len(self.nodes)
 
     def positions(self) -> Dict[int, Position]:
-        return {node_id: node.position for node_id, node in self.nodes.items()}
+        """Node positions (memoized per routing epoch -- treat as read-only).
+
+        Mobility moves bump the routing epoch via the node state listener, so
+        the memo is refreshed exactly when a position can have changed.
+        """
+        cached = self._positions_cache
+        if cached is None or self._positions_epoch != self._routing_epoch:
+            cached = {node_id: node.position for node_id, node in self.nodes.items()}
+            self._positions_cache = cached
+            self._positions_epoch = self._routing_epoch
+        return cached
 
     def distance(self, a: int, b: int) -> float:
         """Euclidean distance in metres between two nodes."""
@@ -227,6 +679,8 @@ class Topology:
 
     # -- graph algorithms ------------------------------------------------------
     def is_connected(self, only_alive: bool = True) -> bool:
+        if isinstance(self.adjacency, CSRAdjacency):
+            return self._is_connected_array(only_alive)
         node_ids = [
             nid for nid, node in self.nodes.items() if node.alive or not only_alive
         ]
@@ -242,6 +696,36 @@ class Topology:
                     seen.add(neighbour)
                     frontier.append(neighbour)
         return len(seen) == len(eligible)
+
+    def _is_connected_array(self, only_alive: bool) -> bool:
+        """Vectorized connectivity check over the CSR adjacency."""
+        adjacency = self.adjacency
+        indptr, indices = adjacency.effective_csr()
+        num_nodes = adjacency.num_nodes
+        eligible = np.ones(num_nodes, dtype=bool)
+        if only_alive:
+            dead = [nid for nid, node in self.nodes.items() if not node.alive]
+            if dead:
+                eligible[np.asarray(dead, dtype=np.int64)] = False
+        total = int(eligible.sum())
+        if total == 0:
+            return True
+        start = int(np.flatnonzero(eligible)[0])
+        seen = np.zeros(num_nodes, dtype=bool)
+        seen[start] = True
+        num_seen = 1
+        frontier = np.asarray([start], dtype=np.int32)
+        while frontier.size:
+            candidates, _ = _ragged_gather(indptr, indices, frontier)
+            if candidates.size == 0:
+                break
+            candidates = np.unique(candidates[eligible[candidates] & ~seen[candidates]])
+            if candidates.size == 0:
+                break
+            seen[candidates] = True
+            num_seen += int(candidates.size)
+            frontier = candidates.astype(np.int32, copy=False)
+        return num_seen == total
 
     def shortest_hops(self, source: int, only_alive: bool = True) -> Dict[int, int]:
         """Hop counts from *source* to every reachable node (BFS).
@@ -355,7 +839,10 @@ class Topology:
             )
             for nid, n in self.nodes.items()
         }
-        adjacency = {nid: set(neigh) for nid, neigh in self.adjacency.items()}
+        if isinstance(self.adjacency, CSRAdjacency):
+            adjacency = self.adjacency.copy()
+        else:
+            adjacency = {nid: set(neigh) for nid, neigh in self.adjacency.items()}
         return Topology(
             nodes=nodes,
             adjacency=adjacency,
@@ -448,6 +935,162 @@ def _solve_radio_range(
     return hi, _adjacency_from_distances(ids, dists, hi)
 
 
+# ---------------------------------------------------------------------------
+# Sparse (grid-bucketed) generation -- no dense N x N distance matrix
+# ---------------------------------------------------------------------------
+
+def _radius_candidate_pairs(
+    xs: np.ndarray, ys: np.ndarray, radius: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Every unordered point pair within *radius*, via a uniform cell grid.
+
+    Points are bucketed into square cells of side *radius*; any pair within
+    range must then lie in the same or one of the 8 adjacent cells, so each
+    unordered pair is generated exactly once from the half-neighbourhood
+    offsets {(0,0) with i<j, (0,1), (1,-1), (1,0), (1,1)}.  Pure numpy
+    (sort + searchsorted + ragged gathers): scipy is optional in the target
+    environments, so no cKDTree.
+
+    Returns ``(i, j, dist)`` with ``dist`` computed exactly as the dense
+    ``_pairwise_distances`` does (``sqrt(dx*dx + dy*dy)`` in float64), so
+    threshold decisions downstream are bit-identical to the dense path.
+    """
+    num_points = xs.shape[0]
+    empty = (np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+             np.zeros(0, dtype=np.float64))
+    if num_points < 2:
+        return empty
+    cell = max(float(radius), 1e-9)
+    gx = np.floor(xs / cell).astype(np.int64)
+    gy = np.floor(ys / cell).astype(np.int64)
+    gx -= gx.min()
+    gy -= gy.min()
+    # +3 leaves an empty guard column so gy +/- 1 never aliases into a
+    # neighbouring gx row of the composite key.
+    stride = int(gy.max()) + 3
+    keys = gx * stride + gy
+    order = np.argsort(keys, kind="stable")
+    cell_keys, cell_starts = np.unique(keys[order], return_index=True)
+    cell_counts = np.diff(np.append(cell_starts, num_points))
+
+    def pairs_into(target_keys: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Pair every point p with all members of the cell keyed target_keys[p]."""
+        pos = np.searchsorted(cell_keys, target_keys)
+        pos = np.minimum(pos, len(cell_keys) - 1)
+        valid = cell_keys[pos] == target_keys
+        src = np.flatnonzero(valid)
+        if src.size == 0:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64)
+        counts = cell_counts[pos[valid]]
+        starts = cell_starts[pos[valid]]
+        total = int(counts.sum())
+        offsets = np.cumsum(counts) - counts
+        within = np.arange(total, dtype=np.int64) - np.repeat(offsets, counts)
+        members = order[np.repeat(starts, counts) + within]
+        return np.repeat(src, counts), members
+
+    pair_i: List[np.ndarray] = []
+    pair_j: List[np.ndarray] = []
+    same_i, same_j = pairs_into(keys)
+    half = same_i < same_j
+    pair_i.append(same_i[half])
+    pair_j.append(same_j[half])
+    for dx, dy in ((0, 1), (1, -1), (1, 0), (1, 1)):
+        cross_i, cross_j = pairs_into(keys + dx * stride + dy)
+        pair_i.append(cross_i)
+        pair_j.append(cross_j)
+    i = np.concatenate(pair_i)
+    j = np.concatenate(pair_j)
+    if i.size == 0:
+        return empty
+    dx_v = xs[i] - xs[j]
+    dy_v = ys[i] - ys[j]
+    dist = np.sqrt(dx_v * dx_v + dy_v * dy_v)
+    keep = dist <= radius
+    return i[keep], j[keep], dist[keep]
+
+
+def _csr_from_pairs(i: np.ndarray, j: np.ndarray, num_nodes: int) -> CSRAdjacency:
+    """Symmetric CSR adjacency (sorted rows) from unordered edge pairs."""
+    src = np.concatenate([i, j])
+    dst = np.concatenate([j, i])
+    order = np.lexsort((dst, src))
+    src = src[order]
+    dst = dst[order]
+    indptr = np.zeros(num_nodes + 1, dtype=np.int64)
+    np.cumsum(np.bincount(src, minlength=num_nodes), out=indptr[1:])
+    return CSRAdjacency(indptr, dst.astype(np.int32), num_nodes, validated=True)
+
+
+def _solve_radio_range_sparse(
+    xs: np.ndarray, ys: np.ndarray, target_degree: float
+) -> Tuple[float, CSRAdjacency]:
+    """Sparse replication of :func:`_solve_radio_range`, bit-identical result.
+
+    Candidate pairs are gathered once within an upper-bound radius whose
+    exact degree already reaches the target; each bisection probe below that
+    bound is then an exact ``searchsorted`` count over the sorted candidate
+    distances (the same numerator the dense probe computes), and probes above
+    the bound take the "degree >= target" branch by monotonicity -- the
+    branch the dense probe would take too.  The bisection therefore walks the
+    identical (lo, hi) sequence and returns the identical radius, and the
+    final adjacency holds the identical edge set, without ever materializing
+    the N x N distance matrix.
+    """
+    num_nodes = xs.shape[0]
+    span = float(max(xs.max(), ys.max()) - min(xs.min(), ys.min())) if num_nodes else 1.0
+    lo, hi = 1e-6, max(span * 2.0, 1.0)
+    if num_nodes < 2:
+        return hi, _csr_from_pairs(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64), num_nodes
+        )
+    width = float(xs.max() - xs.min())
+    height = float(ys.max() - ys.min())
+    area = width * height
+    if area > 0.0:
+        r_bound = math.sqrt(target_degree * area / (math.pi * num_nodes)) * 1.25
+    else:
+        r_bound = hi
+    r_bound = min(max(r_bound, 1e-6), hi)
+    while True:
+        # The gather margin covers the worst-case bisection drift above
+        # r_bound (~span * 2^-47), so the final radius is always inside the
+        # candidate set even when it lands a hair past the bound.
+        r_gather = r_bound + max(1e-9, span * 1e-9)
+        i, j, dist = _radius_candidate_pairs(xs, ys, r_gather)
+        pairs_at_bound = int(np.searchsorted(np.sort(dist), r_bound, side="right"))
+        if float(2 * pairs_at_bound) / num_nodes >= target_degree or r_bound >= hi:
+            break
+        r_bound = min(r_bound * 1.4, hi)
+    dist_sorted = np.sort(dist)
+    for _ in range(48):
+        mid = (lo + hi) / 2.0
+        if mid <= r_bound:
+            count = int(np.searchsorted(dist_sorted, mid, side="right"))
+            below_target = float(2 * count) / num_nodes < target_degree
+        else:
+            # degree(mid) >= degree(r_bound) >= target by monotonicity; the
+            # dense probe would take the same else-branch.
+            below_target = False
+        if below_target:
+            lo = mid
+        else:
+            hi = mid
+    keep = dist <= hi
+    return hi, _csr_from_pairs(i[keep], j[keep], num_nodes)
+
+
+def scale_preset_degree(num_nodes: int) -> float:
+    """Target average degree of the ``scale`` preset.
+
+    Random geometric graphs need the degree to grow ~log(N) to stay
+    connected (at degree 7 a 100k-node deployment expects ~90 isolated
+    nodes); 1.6 ln N with a floor of 12 keeps the rejection-sampling loop
+    honest from 1k to 1M nodes.
+    """
+    return max(12.0, 1.6 * math.log(max(num_nodes, 2)))
+
+
 def random_topology(
     num_nodes: int = 100,
     average_degree: float = 7.0,
@@ -455,6 +1098,7 @@ def random_topology(
     seed: int = 0,
     name: Optional[str] = None,
     max_attempts: int = 50,
+    sparse: Optional[bool] = None,
 ) -> Topology:
     """Generate a connected random deployment with a target average degree.
 
@@ -462,26 +1106,45 @@ def random_topology(
     square (the paper uses a 256 m x 256 m grid for ``pos``).  The base
     station is the node closest to the centre of the area, mirroring typical
     deployments where the sink is centrally placed.
+
+    *sparse* selects the grid-bucketed generator + CSR adjacency (see
+    :func:`sparse_mode_enabled` for the default resolution).  Both paths
+    draw the same placements from the same RNG stream and solve the same
+    radius bisection, so for a given seed they produce the same topology --
+    the sparse one merely never materializes the N x N distance matrix.
     """
     if num_nodes < 2:
         raise ValueError("need at least two nodes")
     if average_degree <= 0:
         raise ValueError("average_degree must be positive")
+    use_sparse = sparse_mode_enabled(num_nodes, sparse)
     rng = np.random.default_rng(seed)
     for attempt in range(max_attempts):
         xs = rng.uniform(0.0, area_size, size=num_nodes)
         ys = rng.uniform(0.0, area_size, size=num_nodes)
         positions = {i: (float(xs[i]), float(ys[i])) for i in range(num_nodes)}
-        radio_range, adjacency = _solve_radio_range(positions, average_degree)
+        if use_sparse:
+            radio_range, adjacency = _solve_radio_range_sparse(
+                xs, ys, average_degree
+            )
+        else:
+            radio_range, adjacency = _solve_radio_range(positions, average_degree)
         nodes = {
             i: SensorNode(node_id=i, position=positions[i]) for i in range(num_nodes)
         }
         centre = (area_size / 2.0, area_size / 2.0)
-        base_id = min(
-            positions,
-            key=lambda i: (positions[i][0] - centre[0]) ** 2
-            + (positions[i][1] - centre[1]) ** 2,
-        )
+        if use_sparse:
+            # argmin = first occurrence of the minimum, the same tie rule as
+            # min() over the id-ascending dict below.
+            base_id = int(np.argmin(
+                (xs - centre[0]) ** 2 + (ys - centre[1]) ** 2
+            ))
+        else:
+            base_id = min(
+                positions,
+                key=lambda i: (positions[i][0] - centre[0]) ** 2
+                + (positions[i][1] - centre[1]) ** 2,
+            )
         topology = Topology(
             nodes=nodes,
             adjacency=adjacency,
@@ -501,15 +1164,28 @@ def random_topology(
 def topology_from_preset(
     preset: str, num_nodes: int = 100, seed: int = 0, area_size: float = 256.0
 ) -> Topology:
-    """Generate one of the paper's named random densities (Appendix C)."""
+    """Generate one of the paper's named random densities (Appendix C).
+
+    The extra ``scale`` preset (not from the paper) serves the 1k -> 1M
+    scale ladder: a random deployment whose target degree grows ~log(N) so
+    the graph stays connected at city scale.
+    """
     if preset == "grid":
         return grid_topology(num_nodes=num_nodes, area_size=area_size)
     if preset == "intel":
         return intel_lab_topology()
+    if preset == "scale":
+        return random_topology(
+            num_nodes=num_nodes,
+            average_degree=scale_preset_degree(num_nodes),
+            area_size=area_size,
+            seed=seed,
+            name="scale",
+        )
     if preset not in DENSITY_PRESETS:
         raise KeyError(
             f"unknown preset {preset!r}; expected one of "
-            f"{sorted(DENSITY_PRESETS) + ['grid', 'intel']}"
+            f"{sorted(DENSITY_PRESETS) + ['grid', 'intel', 'scale']}"
         )
     return random_topology(
         num_nodes=num_nodes,

@@ -13,6 +13,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.network.message import MessageKind, MessageSizes
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import Topology
@@ -49,6 +51,7 @@ class DHTSubstrate:
         }
         #: key -> (routing epoch, home node); invalidated by failures/mobility.
         self._home_cache: Dict[Any, Tuple[int, int]] = {}
+        self._hash_array: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     def key_hash(self, key: Any) -> int:
@@ -65,15 +68,34 @@ class DHTSubstrate:
         if cached is not None and cached[0] == epoch:
             return cached[1]
         key_hash = self.key_hash(key)
-        candidates = [
-            node_id for node_id, node in self.topology.nodes.items() if node.alive
-        ]
-        if not candidates:
-            raise RuntimeError("no alive nodes")
-        home = min(
-            candidates,
-            key=lambda nid: (_ring_distance(self._node_hashes[nid], key_hash), nid),
-        )
+        routing_cache = self.topology.routing_cache
+        if routing_cache.array_mode:
+            # Pure-integer ring distances, so the vectorized argmin picks
+            # exactly the node the scalar (_ring_distance, nid) min picks
+            # (first occurrence of the minimum = lowest id among ties).
+            hashes = self._hash_array
+            if hashes is None:
+                hashes = np.asarray(
+                    [self._node_hashes[nid] for nid in range(len(self._node_hashes))],
+                    dtype=np.int64,
+                )
+                self._hash_array = hashes
+            diff = np.abs(hashes - key_hash)
+            ring = np.minimum(diff, _ID_SPACE - diff)
+            ring = np.where(routing_cache._alive_mask, ring, _ID_SPACE)
+            if int(ring.min()) >= _ID_SPACE:
+                raise RuntimeError("no alive nodes")
+            home = int(np.argmin(ring))
+        else:
+            candidates = [
+                node_id for node_id, node in self.topology.nodes.items() if node.alive
+            ]
+            if not candidates:
+                raise RuntimeError("no alive nodes")
+            home = min(
+                candidates,
+                key=lambda nid: (_ring_distance(self._node_hashes[nid], key_hash), nid),
+            )
         self._home_cache[key] = (epoch, home)
         return home
 

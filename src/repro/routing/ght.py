@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.network.message import MessageKind, MessageSizes
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import Topology
@@ -45,6 +47,8 @@ class GHTSubstrate:
         self._bounds = (min(xs), min(ys), max(xs), max(ys))
         #: key -> (routing epoch, home node); invalidated by failures/mobility.
         self._home_cache: Dict[Any, Tuple[int, int]] = {}
+        #: (routing epoch, xs, ys) position arrays for the vectorized scan.
+        self._pos_cache: Optional[Tuple[int, np.ndarray, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     def hash_location(self, key: Any) -> Tuple[float, float]:
@@ -67,17 +71,50 @@ class GHTSubstrate:
         if cached is not None and cached[0] == epoch:
             return cached[1]
         location = self.hash_location(key)
-        candidates = [
-            node_id for node_id, node in self.topology.nodes.items() if node.alive
-        ]
-        if not candidates:
-            raise RuntimeError("no alive nodes")
-        home = min(
-            candidates,
-            key=lambda nid: self._distance_to(nid, location),
-        )
+        routing_cache = self.topology.routing_cache
+        if routing_cache.array_mode:
+            home = self._home_node_array(location, routing_cache)
+        else:
+            candidates = [
+                node_id for node_id, node in self.topology.nodes.items() if node.alive
+            ]
+            if not candidates:
+                raise RuntimeError("no alive nodes")
+            home = min(
+                candidates,
+                key=lambda nid: self._distance_to(nid, location),
+            )
         self._home_cache[key] = (epoch, home)
         return home
+
+    def _home_node_array(self, location: Tuple[float, float], routing_cache) -> int:
+        """Vectorized closest-alive-node scan, identical pick to the scalar min.
+
+        Squared distances order candidates (same IEEE ops as the scalar
+        path); the handful of nodes within a relative whisker of the minimum
+        are re-ranked with the scalar key, so even a rounding collision in
+        the scalar ``** 0.5`` cannot change which node wins.
+        """
+        epoch = self.topology.routing_epoch
+        pos = self._pos_cache
+        if pos is None or pos[0] != epoch:
+            num_nodes = len(self.topology.nodes)
+            xs = np.empty(num_nodes, dtype=np.float64)
+            ys = np.empty(num_nodes, dtype=np.float64)
+            for node_id, node in self.topology.nodes.items():
+                xs[node_id], ys[node_id] = node.position
+            pos = (epoch, xs, ys)
+            self._pos_cache = pos
+        _, xs, ys = pos
+        d2 = (xs - location[0]) ** 2 + (ys - location[1]) ** 2
+        d2 = np.where(routing_cache._alive_mask, d2, np.inf)
+        closest = float(d2.min())
+        if not np.isfinite(closest):
+            raise RuntimeError("no alive nodes")
+        near = np.flatnonzero(d2 <= closest * (1.0 + 1e-12))
+        if near.size == 1:
+            return int(near[0])
+        return min(near.tolist(), key=lambda nid: self._distance_to(nid, location))
 
     def _distance_to(self, node_id: int, location: Tuple[float, float]) -> float:
         x, y = self.topology.nodes[node_id].position

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
 from repro.network.message import MessageKind, MessageSizes
 from repro.network.simulator import NetworkSimulator
 from repro.network.topology import Topology
@@ -113,6 +115,19 @@ class MultiTreeSubstrate:
 
     def _furthest_from_existing_roots(self) -> int:
         """Pick the node maximizing its minimum hop distance to existing roots."""
+        cache = self.topology.routing_cache
+        if cache.array_mode:
+            # Same selection, against the int32 hop vectors: unreachable
+            # nodes score 0 (the dict path's ``.get(node_id, 0)``), dead
+            # nodes are excluded, and argmax takes the first (lowest-id)
+            # maximum -- the dict loop's tie rule over ascending ids.
+            score = np.minimum.reduce([
+                np.maximum(cache.hops_array(tree.root), 0) for tree in self.trees
+            ]).astype(np.int64)
+            score[~cache._alive_mask] = -1
+            if int(score.max()) < 0:
+                return self.topology.base_id
+            return int(np.argmax(score))
         distances: List[Dict[int, int]] = [
             self.topology.shortest_hops_view(tree.root) for tree in self.trees
         ]

@@ -101,8 +101,9 @@ class TestSpecSinks:
         """Stored results from before the metrics subsystem stay valid.
 
         Pre-metrics payloads carry neither the ``sinks`` nor the
-        ``batch_cycles`` knob; both are excluded from the run key at their
-        defaults, so the historical content hashes remain addressable.
+        ``batch_cycles`` nor the ``node_series_cap`` knob; all three are
+        excluded from the run key at their defaults, so the historical
+        content hashes remain addressable.
         """
         scenario = ScenarioSpec(name="plain", query="query1",
                                 algorithms=("naive",), cycles=3)
@@ -110,6 +111,7 @@ class TestSpecSinks:
         legacy_payload = spec.to_dict()
         del legacy_payload["sinks"]
         del legacy_payload["batch_cycles"]
+        del legacy_payload["node_series_cap"]
         legacy_payload["engine_version"] = ENGINE_VERSION
         assert spec.run_key() == content_hash(legacy_payload)
 

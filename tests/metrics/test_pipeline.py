@@ -200,3 +200,69 @@ class TestPresets:
         assert summary_prefixes(["all"]) == ("energy_", "hotspot_", "latency_")
         assert summary_prefixes([{"sink": "energy", "capacity_uj": 1.0}]) == (
             "energy_",)
+
+
+class TestBoundNodeSeries:
+    """Memory-bounded per-node series for massive-topology reports."""
+
+    def test_keeps_heaviest_entries_sorted_by_id(self):
+        from repro.metrics.pipeline import bound_node_series
+
+        values = {0: 1.0, 1: 9.0, 2: 3.0, 3: 9.0, 4: 0.5}
+        bounded, summary = bound_node_series(values, 3)
+        # top-3 by value, ties toward the lower id, re-sorted by node id
+        assert bounded == {1: 9.0, 2: 3.0, 3: 9.0}
+        assert list(bounded) == [1, 2, 3]
+        assert summary == {
+            "nodes": 5.0, "kept": 3.0, "sum": 22.5, "mean": 4.5,
+            "max": 9.0, "min": 0.5,
+        }
+
+    def test_fitting_series_pass_through_unchanged(self):
+        from repro.metrics.pipeline import bound_node_series
+
+        values = {0: 1.0, 1: 2.0}
+        bounded, summary = bound_node_series(values, 2)
+        assert bounded == values and summary is None
+        with pytest.raises(ValueError):
+            bound_node_series(values, -1)
+
+    def test_executor_caps_series_and_summarizes(self):
+        from repro.core.cost_model import Selectivities
+        from repro.engine.execution import run_single
+        from repro.engine.workload import build_query, build_topology, memoized_workload
+
+        key = ("moderate", 0, 60)
+        topology = build_topology(None, preset="moderate", seed=0, num_nodes=60)
+        query = build_query("query1", (), topology=topology, topology_key=key)
+        sel = Selectivities(0.5, 0.5, 0.2)
+        source = memoized_workload(key, topology, ("query1", ()), query, sel, seed=1)
+
+        def run(cap):
+            return run_single(
+                query, topology, source, "base", sel, cycles=5,
+                sinks=build_sinks(["energy"]), node_series_cap=cap,
+            ).report
+
+        full, capped = run(None), run(10)
+        assert full.total_traffic == capped.total_traffic  # reporting knob only
+        for name, series in full.node_series.items():
+            assert len(capped.node_series[name]) == 10
+            assert set(capped.node_series[name]) <= set(series)
+            assert f"{name}.nodes" in capped.extra
+            assert f"{name}.nodes" not in full.extra
+
+    def test_spec_cap_is_hash_neutral_when_unset(self):
+        from dataclasses import replace
+
+        from repro.engine.spec import ScenarioSpec, resolve_scale
+
+        spec = ScenarioSpec(
+            name="cap", grid={"node_series_cap": [None, 32]},
+        ).expand(resolve_scale("smoke"))[0]
+        assert replace(spec, node_series_cap=None).run_key() == \
+            replace(spec, node_series_cap=None).run_key()
+        assert replace(spec, node_series_cap=32).run_key() != \
+            replace(spec, node_series_cap=None).run_key()
+        # the unset default round-trips out of the spec hash entirely
+        assert "node_series_cap" not in ScenarioSpec(name="plain").to_dict()
