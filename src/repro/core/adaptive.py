@@ -20,6 +20,13 @@ from typing import Optional
 
 from repro.core.cost_model import Selectivities, relative_error
 
+#: Default observation-cycle cap for open-ended (service-mode) runs.  The
+#: policy's ``reset_interval`` normally clears counters long before this, but
+#: a long-lived pair whose policy never fires (or a service run with resets
+#: disabled) must not grow its counters without bound.  Far above any batch
+#: figure's cycle count, so fixed-cycle runs never roll over.
+DEFAULT_OBSERVATION_CAP = 1_000_000
+
 
 @dataclass
 class SelectivityEstimate:
@@ -37,21 +44,42 @@ class SelectivityEstimate:
 
 @dataclass
 class PairObservation:
-    """Counters a join node keeps for one (s, t) pair."""
+    """Counters a join node keeps for one (s, t) pair.
+
+    ``observation_cap`` bounds the observed-cycle count: once ``cycles``
+    reaches the cap all counters are halved (exponential rollover), so the
+    estimated rates are preserved while an open-ended service run keeps
+    every counter in a fixed integer range.  Rollovers are counted in
+    ``rollovers``.
+    """
 
     window_size: int
     n_source: int = 0
     n_target: int = 0
     n_results: int = 0
     cycles: int = 0
+    observation_cap: int = DEFAULT_OBSERVATION_CAP
+    rollovers: int = 0
 
     def __post_init__(self) -> None:
         if self.window_size < 1:
             raise ValueError("window_size must be at least 1")
+        if self.observation_cap < 2:
+            raise ValueError("observation_cap must be at least 2")
 
     # -- recording -----------------------------------------------------------
     def record_cycle(self) -> None:
         self.cycles += 1
+        if self.cycles >= self.observation_cap:
+            self._rollover()
+
+    def _rollover(self) -> None:
+        """Halve every counter, preserving the estimated rates."""
+        self.n_source //= 2
+        self.n_target //= 2
+        self.n_results //= 2
+        self.cycles //= 2
+        self.rollovers += 1
 
     def record_source_tuple(self, count: int = 1) -> None:
         self.n_source += count
@@ -171,9 +199,12 @@ class LearningState:
     observation: PairObservation = field(init=False)
     window_size: int = 1
     reoptimizations: int = 0
+    observation_cap: int = DEFAULT_OBSERVATION_CAP
 
     def __post_init__(self) -> None:
-        self.observation = PairObservation(window_size=self.window_size)
+        self.observation = PairObservation(
+            window_size=self.window_size, observation_cap=self.observation_cap
+        )
 
     def maybe_update(self, policy: AdaptivePolicy, cycle: int) -> Optional[Selectivities]:
         """Check/reset per the policy; returns new selectivities if triggered."""

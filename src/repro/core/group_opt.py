@@ -16,7 +16,17 @@ pairwise in-network joins or a single grouped join at the base station:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (
+    Callable,
+    Dict,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.cost_model import Selectivities, group_cost_difference
 from repro.core.placement import PlacementDecision
@@ -113,6 +123,142 @@ class GroupOptimizer:
         self.route_between = route_between
         self.sizes = sizes or MessageSizes()
         self._sequence = 0
+        # -- incremental multi-query state (service mode) ------------------
+        self._query_pairs: Dict[Hashable, Tuple[Pair, ...]] = {}
+        self._pair_refs: Dict[Pair, int] = {}
+        self._live_groups: Dict[int, Group] = {}
+        self._decisions: Dict[int, GroupDecision] = {}
+        self._last_use_innet: Dict[int, bool] = {}  # by coordinator id
+        self._next_group_id = 0
+
+    # ------------------------------------------------------------------
+    # incremental grouping over a churning query population
+    # ------------------------------------------------------------------
+    def groups(self) -> List[Group]:
+        """All live groups across registered queries, by ascending group id."""
+        return [self._live_groups[gid] for gid in sorted(self._live_groups)]
+
+    def registered_queries(self) -> List[Hashable]:
+        return list(self._query_pairs)
+
+    def decision_for(self, group_id: int) -> Optional[GroupDecision]:
+        """The in-flight decision for a live group, if one was recorded."""
+        return self._decisions.get(group_id)
+
+    def record_decision(self, decision: GroupDecision) -> GroupDecision:
+        """Store (and reconcile) a decision for one live group.
+
+        An already-recorded decision for the same group is kept or replaced
+        per the (coordinator id, sequence) ordering of Algorithm 1.
+        """
+        group_id = decision.group.group_id
+        current = self._decisions.get(group_id)
+        if current is not None:
+            decision = reconcile_decisions(current, decision)
+        self._decisions[group_id] = decision
+        self._last_use_innet[decision.group.coordinator] = decision.use_innet
+        return decision
+
+    def previous_use_innet(self, group: Group) -> Optional[bool]:
+        """The last broadcast decision of this group's coordinator, if any.
+
+        Used as ``previous_decision`` when re-deciding after churn, so the
+        coordinator's broadcast is suppressed when its choice did not flip.
+        """
+        return self._last_use_innet.get(group.coordinator)
+
+    def add_query(self, query_id: Hashable, pairs: Sequence[Pair]) -> List[Group]:
+        """Register a query's joining pairs; re-derive only affected groups.
+
+        Existing groups that share a producer endpoint with the new pairs
+        are merged with them through :func:`build_groups` over just that
+        delta; every other group (and its in-flight decision) is untouched.
+        Returns the re-derived groups, which need a fresh
+        :meth:`decide_group` pass.
+        """
+        if query_id in self._query_pairs:
+            raise ValueError(f"query {query_id!r} is already registered")
+        pair_list = [(int(s), int(t)) for s, t in pairs]
+        self._query_pairs[query_id] = tuple(pair_list)
+        fresh: List[Pair] = []
+        for pair in pair_list:
+            count = self._pair_refs.get(pair, 0)
+            self._pair_refs[pair] = count + 1
+            if count == 0:
+                fresh.append(pair)
+        if not fresh:
+            return []
+        sources = {s for s, _ in fresh}
+        targets = {t for _, t in fresh}
+        affected = [
+            gid for gid in sorted(self._live_groups)
+            if self._live_groups[gid].source_members & sources
+            or self._live_groups[gid].target_members & targets
+        ]
+        delta: List[Pair] = []
+        for gid in affected:
+            delta.extend(self._live_groups[gid].pairs)
+        delta.extend(fresh)
+        return self._rebuild(affected, delta)
+
+    def remove_query(self, query_id: Hashable) -> List[Group]:
+        """Unregister a query; re-derive only the groups that lose pairs.
+
+        A group shrinks (and possibly splits) only when a pair's reference
+        count drops to zero -- pairs shared with other live queries keep the
+        group intact.  Returns the re-derived groups needing a fresh
+        decision (dissolved groups simply disappear).
+        """
+        pair_list = self._query_pairs.pop(query_id, None)
+        if pair_list is None:
+            raise KeyError(f"query {query_id!r} is not registered")
+        dropped: Set[Pair] = set()
+        for pair in pair_list:
+            count = self._pair_refs.get(pair, 0) - 1
+            if count <= 0:
+                self._pair_refs.pop(pair, None)
+                dropped.add(pair)
+            else:
+                self._pair_refs[pair] = count
+        if not dropped:
+            return []
+        affected = [
+            gid for gid in sorted(self._live_groups)
+            if dropped.intersection(self._live_groups[gid].pairs)
+        ]
+        delta: List[Pair] = []
+        for gid in affected:
+            delta.extend(
+                p for p in self._live_groups[gid].pairs if p not in dropped
+            )
+        return self._rebuild(affected, delta)
+
+    def _rebuild(self, affected: List[int], delta: List[Pair]) -> List[Group]:
+        """Replace *affected* groups with ``build_groups`` over *delta*.
+
+        Structurally unchanged groups (same pair set) keep their identity and
+        in-flight decision; genuinely new or reshaped groups get fresh ids
+        and are returned for re-decision.
+        """
+        old_by_pairs: Dict[frozenset, int] = {
+            frozenset(self._live_groups[gid].pairs): gid for gid in affected
+        }
+        changed: List[Group] = []
+        surviving: Set[int] = set()
+        for rebuilt in build_groups(delta):
+            old_gid = old_by_pairs.get(frozenset(rebuilt.pairs))
+            if old_gid is not None and old_gid not in surviving:
+                surviving.add(old_gid)  # unchanged: keep group and decision
+                continue
+            rebuilt.group_id = self._next_group_id
+            self._next_group_id += 1
+            self._live_groups[rebuilt.group_id] = rebuilt
+            changed.append(rebuilt)
+        for gid in affected:
+            if gid not in surviving:
+                self._live_groups.pop(gid, None)
+                self._decisions.pop(gid, None)
+        return changed
 
     # ------------------------------------------------------------------
     def producer_delta(

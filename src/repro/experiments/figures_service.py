@@ -1,0 +1,77 @@
+"""The query-churn scenario family (service mode).
+
+Not a paper figure: the paper evaluates one query at a time, while the
+service layer runs N concurrent queries under churn on one shared
+substrate.  These scenarios quantify the two service-mode effects --
+shared-substrate traffic savings and incremental group-reoptimization
+latency -- by pairing, at every grid point, a ``shared`` run (one
+:class:`~repro.service.engine.ServiceEngine`) against an ``independent``
+baseline (a private executor per query), both replaying the identical
+seeded churn trace.  See :mod:`repro.service.runkind` for the executor.
+"""
+
+from __future__ import annotations
+
+from repro.engine.spec import ScenarioSpec
+
+# Importing the run kind registers the "service" executor; keep the import
+# even though the name is unused.
+import repro.service.runkind  # noqa: F401
+
+#: Metrics every churn scenario persists (resolved from report extras).
+CHURN_METRICS = (
+    "total_traffic",
+    "base_traffic",
+    "max_node_load",
+    "shared_savings_units",
+    "independent_traffic_estimate",
+    "reoptimizations",
+    "reopt_latency_p50",
+    "reopt_latency_p95",
+)
+
+
+def query_churn_scenario(
+    name: str = "query-churn",
+    target_queries: int = 32,
+    cycles: int = 60,
+    churn_interval: int = 5,
+    churn_count: int = 4,
+    strategy: str = "innet-cmg",
+    num_nodes: int = 120,
+) -> ScenarioSpec:
+    """Shared vs independent execution of a churning query population."""
+    return ScenarioSpec(
+        name=name,
+        kind="service",
+        description=f"{target_queries} concurrent queries under seeded "
+                    "arrival/departure churn: shared substrate vs "
+                    "independent per-query execution",
+        algorithms=("shared", "independent"),
+        topology_preset="moderate",
+        num_nodes=num_nodes,
+        data={"sigma_s": 0.5, "sigma_t": 0.5, "sigma_st": 0.2},
+        runs=1,
+        cycles=cycles,
+        params={
+            "target_queries": target_queries,
+            "churn_interval": churn_interval,
+            "churn_count": churn_count,
+            "churn_seed": 7,
+            "strategy": strategy,
+            "window_size": 2,
+        },
+        metrics=CHURN_METRICS,
+    )
+
+
+def query_churn_smoke_scenario() -> ScenarioSpec:
+    """The CI-sized churn point: 8 queries, short horizon, small field."""
+    return query_churn_scenario(
+        name="query-churn-smoke",
+        target_queries=8,
+        cycles=20,
+        churn_interval=4,
+        churn_count=2,
+        num_nodes=60,
+    )

@@ -42,6 +42,10 @@ from repro.experiments.figures_joins import (
     fig09b_scenario,
     query_traffic_scenario,
 )
+from repro.experiments.figures_service import (
+    query_churn_scenario,
+    query_churn_smoke_scenario,
+)
 from repro.experiments.figures_substrate import (
     appg_scenario,
     fig18_scenario,
@@ -224,6 +228,8 @@ BUILTIN_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     "scale-ladder-smoke": lambda: _scale_ladder_scenario(
         rungs=(1_000, 10_000), name="scale-ladder-smoke",
     ),
+    "query-churn": query_churn_scenario,
+    "query-churn-smoke": query_churn_smoke_scenario,
     "ablation-threshold": _ablation_threshold_scenario,
     "ablation-trees": _ablation_trees_scenario,
     "energy-budget": _energy_budget_scenario,

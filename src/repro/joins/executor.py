@@ -122,16 +122,27 @@ class JoinExecutor:
         """
         self.initiate()
         for cycle in range(start_cycle, start_cycle + cycles):
-            failed = self.failure_injector.apply(self.topology, cycle)
-            if failed:
-                self.strategy.handle_failures(self.context, failed, cycle)
-            batcher = self._cycle_batcher()
-            if batcher is None:
-                self.strategy.execute_cycle(self.context, cycle)
-            else:
-                self.strategy.execute_cycle_batch(self.context, cycle, batcher)
-                batcher.flush()
-            self.simulator.advance_sampling_cycle()
+            self.step_cycle(cycle)
+
+    def step_cycle(self, cycle: int) -> None:
+        """Execute exactly one sampling cycle (the stepping-engine core).
+
+        ``run``/``run_cycles`` are thin loops over this method; callers that
+        interleave several executors (or a service loop that admits and
+        cancels queries between cycles) drive it directly.  Initiation is
+        idempotent, so stepping is safe from any entry point.
+        """
+        self.initiate()
+        failed = self.failure_injector.apply(self.topology, cycle)
+        if failed:
+            self.strategy.handle_failures(self.context, failed, cycle)
+        batcher = self._cycle_batcher()
+        if batcher is None:
+            self.strategy.execute_cycle(self.context, cycle)
+        else:
+            self.strategy.execute_cycle_batch(self.context, cycle, batcher)
+            batcher.flush()
+        self.simulator.advance_sampling_cycle()
 
     def _cycle_batcher(self) -> Optional[CycleBatcher]:
         """The batch-cycle kernel for this cycle, or ``None`` for per-tuple.

@@ -109,8 +109,13 @@ class LatencySink(MetricsSink):
 
     name = "latency"
 
-    def __init__(self, percentiles: Tuple[Tuple[str, float], ...] = DEFAULT_PERCENTILES) -> None:
+    def __init__(
+        self,
+        percentiles: Tuple[Tuple[str, float], ...] = DEFAULT_PERCENTILES,
+        key_prefix: str = "latency",
+    ) -> None:
         self._percentile_spec = tuple(percentiles)
+        self.key_prefix = key_prefix
         self.reset()
 
     def reset(self) -> None:
@@ -160,11 +165,12 @@ class LatencySink(MetricsSink):
         return self._estimators[label].value()
 
     def summary(self) -> Dict[str, float]:
+        prefix = self.key_prefix
         out = {
-            "latency_count": float(self.count),
-            "latency_mean": self.mean(),
-            "latency_max": self.max_latency,
+            f"{prefix}_count": float(self.count),
+            f"{prefix}_mean": self.mean(),
+            f"{prefix}_max": self.max_latency,
         }
         for label, _ in self._percentile_spec:
-            out[f"latency_{label}"] = self._estimators[label].value()
+            out[f"{prefix}_{label}"] = self._estimators[label].value()
         return out

@@ -1,0 +1,107 @@
+"""Deterministic query-churn traces for the service scenario family.
+
+A churn trace is a pure function of its seed and shape parameters: the whole
+arrival/departure schedule is materialized up front as ``(cycle, action,
+slot)`` events, so replaying it -- in-process, in a sweep worker, or against
+a daemon -- involves no wall clock and no hidden randomness.  The trace
+holds the population at ``target`` concurrent queries: every
+``churn_interval`` cycles a seeded choice of live queries departs and the
+same number of fresh queries (new slots) arrives.
+
+Queries come from a parameterized pool that deliberately overlaps producer
+ranges across slots: S predicates select low node ids and T predicates high
+node ids from shared bands, so concurrent queries share producers, their
+join pairs connect into cross-query groups, and churn exercises the
+incremental GROUPOPT path (not just session bookkeeping).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ChurnEvent:
+    """One scheduled admission-plane action."""
+
+    cycle: int
+    action: str  # "submit" | "cancel"
+    slot: int
+
+
+def churn_query(
+    slot: int, seed: int, num_nodes: int, window_size: int = 2
+) -> Tuple[str, str]:
+    """The pool query for one slot: deterministic ``(name, StreamSQL)``.
+
+    Thresholds are drawn per slot from narrow bands so different slots
+    produce overlapping (but not identical) producer sets.
+    """
+    rng = np.random.default_rng((seed << 16) ^ slot)
+    quarter = max(4, num_nodes // 4)
+    s_limit = int(rng.integers(quarter // 2, quarter + 1))
+    t_floor = num_nodes - int(rng.integers(quarter // 2, quarter + 1))
+    window = int(rng.integers(1, window_size + 1))
+    sql = (
+        f"SELECT S.id, T.id FROM S, T "
+        f"[windowsize={window} sampleinterval=100] "
+        f"WHERE S.id < {s_limit} AND T.id > {t_floor} "
+        f"AND S.adc0 < 500 AND T.adc0 < 500 AND S.u = T.u"
+    )
+    return f"churn-q{slot}", sql
+
+
+def build_churn_trace(
+    seed: int,
+    cycles: int,
+    target: int,
+    churn_interval: int,
+    churn_count: int,
+) -> List[ChurnEvent]:
+    """Materialize the full arrival/departure schedule for one run.
+
+    Cycle 0 admits slots ``0..target-1``; every ``churn_interval`` cycles
+    thereafter, ``churn_count`` seeded picks from the live population depart
+    and fresh slots replace them, keeping concurrency at ``target``.
+    """
+    if target < 1:
+        raise ValueError("target concurrency must be at least 1")
+    if churn_interval < 1:
+        raise ValueError("churn_interval must be at least 1")
+    rng = np.random.default_rng(seed)
+    events: List[ChurnEvent] = []
+    live: List[int] = []
+    next_slot = 0
+    for _ in range(target):
+        events.append(ChurnEvent(cycle=0, action="submit", slot=next_slot))
+        live.append(next_slot)
+        next_slot += 1
+    for cycle in range(churn_interval, cycles, churn_interval):
+        departures = min(churn_count, len(live))
+        if departures == 0:
+            continue
+        picks = rng.choice(len(live), size=departures, replace=False)
+        for index in sorted(picks, reverse=True):
+            slot = live.pop(int(index))
+            events.append(ChurnEvent(cycle=cycle, action="cancel", slot=slot))
+        for _ in range(departures):
+            events.append(
+                ChurnEvent(cycle=cycle, action="submit", slot=next_slot)
+            )
+            live.append(next_slot)
+            next_slot += 1
+    return events
+
+
+def events_by_cycle(events: List[ChurnEvent]) -> Dict[int, List[ChurnEvent]]:
+    """Group a trace by cycle; cancels sort before submits within a cycle."""
+    grouped: Dict[int, List[ChurnEvent]] = {}
+    for event in events:
+        grouped.setdefault(event.cycle, []).append(event)
+    order = {"cancel": 0, "submit": 1}
+    for cycle_events in grouped.values():
+        cycle_events.sort(key=lambda e: (order[e.action], e.slot))
+    return grouped

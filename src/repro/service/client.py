@@ -1,0 +1,68 @@
+"""A thin client for the service daemon's JSON-line protocol."""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.service.daemon import request
+
+
+class ServiceClient:
+    """Per-request connections to one daemon (stateless, thread-safe)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 7077,
+                 timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+
+    def _call(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        response = request(self.host, self.port, payload, timeout=self.timeout)
+        if not response.get("ok"):
+            raise RuntimeError(
+                f"service error for op {payload.get('op')!r}: "
+                f"{response.get('error', 'unknown error')}"
+            )
+        return response
+
+    def ping(self) -> Dict[str, Any]:
+        return self._call({"op": "ping"})
+
+    def submit(
+        self,
+        sql: Optional[str] = None,
+        query: Optional[str] = None,
+        algorithm: Optional[str] = None,
+        window_size: Optional[int] = None,
+    ) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {"op": "submit"}
+        if sql:
+            payload["sql"] = sql
+        if query:
+            payload["query"] = query
+        if algorithm:
+            payload["algorithm"] = algorithm
+        if window_size is not None:
+            payload["window_size"] = window_size
+        return self._call(payload)
+
+    def cancel(self, query_id: int) -> Dict[str, Any]:
+        return self._call({"op": "cancel", "query_id": int(query_id)})
+
+    def status(self) -> Dict[str, Any]:
+        return self._call({"op": "status"})
+
+    def query_status(self, query_id: int) -> Dict[str, Any]:
+        return self._call({"op": "query-status", "query_id": int(query_id)})
+
+    def stats(self) -> Dict[str, Any]:
+        return self._call({"op": "stats"})
+
+    def step(self, cycles: int = 1) -> Dict[str, Any]:
+        return self._call({"op": "step", "cycles": int(cycles)})
+
+    def event(self, event: Dict[str, Any]) -> Dict[str, Any]:
+        return self._call({"op": "event", "event": event})
+
+    def shutdown(self) -> Dict[str, Any]:
+        return self._call({"op": "shutdown"})

@@ -1,0 +1,72 @@
+"""Satellite: bounded observation state for open-ended service runs."""
+
+import pytest
+
+from repro.core.adaptive import (
+    DEFAULT_OBSERVATION_CAP,
+    AdaptivePolicy,
+    LearningState,
+    PairObservation,
+)
+from repro.core.cost_model import Selectivities
+
+
+class TestObservationCap:
+    def test_counters_stay_bounded_forever(self):
+        # Halving at the cap gives every per-cycle-rate-r counter a fixed
+        # point of 2 * r * cap just before rollover: bounded, run-length
+        # independent state.
+        obs = PairObservation(window_size=1, observation_cap=100)
+        for _ in range(10_000):
+            obs.record_source_tuple()
+            obs.record_target_tuple()
+            obs.record_results(2)
+            obs.record_cycle()
+        assert obs.cycles <= 100
+        assert obs.n_source <= 2 * 100
+        assert obs.n_target <= 2 * 100
+        assert obs.n_results <= 4 * 100
+        assert obs.rollovers > 50  # first at the cap, then every cap/2 cycles
+
+    def test_rollover_preserves_estimated_rates(self):
+        obs = PairObservation(window_size=2, observation_cap=1000)
+        for _ in range(999):
+            obs.record_source_tuple()
+            obs.record_results(1)
+            obs.record_cycle()
+        before = obs.estimate()
+        obs.record_source_tuple()
+        obs.record_results(1)
+        obs.record_cycle()  # triggers the halving rollover
+        assert obs.rollovers == 1
+        after = obs.estimate()
+        sel_before = before.selectivities
+        sel_after = after.selectivities
+        assert sel_after.sigma_s == pytest.approx(sel_before.sigma_s, rel=0.01)
+        assert sel_after.sigma_st == pytest.approx(sel_before.sigma_st, rel=0.01)
+
+    def test_default_cap_never_fires_at_figure_scale(self):
+        obs = PairObservation(window_size=1)
+        for _ in range(5_000):  # far beyond any figure run's cycle count
+            obs.record_cycle()
+        assert obs.rollovers == 0
+        assert obs.cycles == 5_000
+        assert obs.observation_cap == DEFAULT_OBSERVATION_CAP
+
+    def test_cap_validation(self):
+        with pytest.raises(ValueError):
+            PairObservation(window_size=1, observation_cap=1)
+
+    def test_learning_state_threads_cap_through(self):
+        state = LearningState(
+            current=Selectivities(0.5, 0.5, 0.2),
+            window_size=1,
+            observation_cap=50,
+        )
+        assert state.observation.observation_cap == 50
+        policy = AdaptivePolicy(check_interval=7, reset_interval=10_000_000)
+        for cycle in range(1, 500):
+            state.observation.record_cycle()
+            state.maybe_update(policy, cycle)
+        assert state.observation.cycles < 50
+        assert state.observation.rollovers > 0

@@ -1,0 +1,80 @@
+"""Deterministic churn traces and the overlapping query pool."""
+
+import pytest
+
+from repro.query.parser import parse_query
+from repro.service.churn import (
+    ChurnEvent,
+    build_churn_trace,
+    churn_query,
+    events_by_cycle,
+)
+
+
+class TestChurnTrace:
+    def test_same_seed_same_trace(self):
+        a = build_churn_trace(seed=7, cycles=40, target=8,
+                              churn_interval=5, churn_count=2)
+        b = build_churn_trace(seed=7, cycles=40, target=8,
+                              churn_interval=5, churn_count=2)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        a = build_churn_trace(seed=7, cycles=40, target=8,
+                              churn_interval=5, churn_count=2)
+        b = build_churn_trace(seed=8, cycles=40, target=8,
+                              churn_interval=5, churn_count=2)
+        assert a != b
+
+    def test_population_held_at_target(self):
+        trace = build_churn_trace(seed=3, cycles=50, target=6,
+                                  churn_interval=5, churn_count=2)
+        live = set()
+        for cycle, events in sorted(events_by_cycle(trace).items()):
+            for event in events:
+                if event.action == "cancel":
+                    live.remove(event.slot)
+                else:
+                    live.add(event.slot)
+            assert len(live) == 6, f"population drifted at cycle {cycle}"
+
+    def test_cancels_ordered_before_submits(self):
+        trace = build_churn_trace(seed=3, cycles=20, target=4,
+                                  churn_interval=5, churn_count=2)
+        for events in events_by_cycle(trace).values():
+            actions = [e.action for e in events]
+            assert actions == sorted(actions)  # "cancel" < "submit"
+
+    def test_slots_are_never_reused(self):
+        trace = build_churn_trace(seed=1, cycles=60, target=8,
+                                  churn_interval=3, churn_count=3)
+        submitted = [e.slot for e in trace if e.action == "submit"]
+        assert len(submitted) == len(set(submitted))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            build_churn_trace(seed=0, cycles=10, target=0,
+                              churn_interval=5, churn_count=1)
+        with pytest.raises(ValueError):
+            build_churn_trace(seed=0, cycles=10, target=4,
+                              churn_interval=0, churn_count=1)
+
+
+class TestChurnQueryPool:
+    def test_deterministic_and_parseable(self):
+        name_a, sql_a = churn_query(slot=3, seed=7, num_nodes=100)
+        name_b, sql_b = churn_query(slot=3, seed=7, num_nodes=100)
+        assert (name_a, sql_a) == (name_b, sql_b)
+        query = parse_query(sql_a, name=name_a)
+        assert query.name == "churn-q3"
+        assert 1 <= query.window_size <= 2
+
+    def test_slots_overlap_but_differ(self):
+        pool = [churn_query(slot, seed=7, num_nodes=100)[1]
+                for slot in range(6)]
+        assert len(set(pool)) > 1  # not all identical
+        # Every slot's S band lives inside the shared low-id quarter, so
+        # concurrent slots share producers (the cross-query grouping fuel).
+        for sql in pool:
+            limit = int(sql.split("S.id < ")[1].split(" ")[0])
+            assert 12 <= limit <= 25

@@ -1,0 +1,104 @@
+"""Daemon round trips: dispatch, the TCP front end, client and CLI."""
+
+import json
+import threading
+
+import pytest
+
+from repro.service.cli import main as cli_main
+from repro.service.client import ServiceClient
+from repro.service.daemon import ServiceDaemon, ServiceServer, request
+from repro.service.engine import ServiceConfig
+
+SQL = (
+    "SELECT S.id, T.id FROM S, T [windowsize=2 sampleinterval=100] "
+    "WHERE S.id < 10 AND T.id > 30 AND S.adc0 < 500 AND T.adc0 < 500 "
+    "AND S.u = T.u"
+)
+
+
+class TestDispatch:
+    def test_errors_are_reported_not_fatal(self):
+        daemon = ServiceDaemon(ServiceConfig(num_nodes=40))
+        bad = daemon.handle({"op": "frobnicate"})
+        assert bad["ok"] is False
+        assert "frobnicate" in bad["error"]
+        bad = daemon.handle({"op": "cancel", "query_id": 5})
+        assert bad["ok"] is False
+        good = daemon.handle({"op": "ping"})
+        assert good == {"ok": True, "op": "pong", "cycle": 0}
+
+    def test_submit_step_stats_via_dispatch(self):
+        daemon = ServiceDaemon(ServiceConfig(num_nodes=40))
+        admitted = daemon.handle({"op": "submit", "sql": SQL})
+        assert admitted["ok"] is True
+        stepped = daemon.handle({"op": "step", "cycles": 3})
+        assert stepped == {"ok": True, "cycle": 3}
+        stats = daemon.handle({"op": "stats"})
+        assert stats["ok"] is True
+        assert stats["total_traffic"] > 0
+
+
+@pytest.fixture()
+def live_server():
+    daemon = ServiceDaemon(ServiceConfig(num_nodes=40))
+    server = ServiceServer(("127.0.0.1", 0), daemon)
+    thread = threading.Thread(
+        target=server.serve_forever, kwargs={"poll_interval": 0.05},
+        daemon=True,
+    )
+    thread.start()
+    try:
+        yield server.server_address
+    finally:
+        server.shutdown()
+        server.server_close()
+        daemon.stop()
+        thread.join(timeout=5.0)
+
+
+class TestTCPFrontEnd:
+    def test_full_session_over_sockets(self, live_server):
+        host, port = live_server
+        client = ServiceClient(host, port)
+        assert client.ping()["op"] == "pong"
+        admitted = client.submit(sql=SQL)
+        query_id = admitted["query_id"]
+        client.step(4)
+        status = client.status()
+        assert status["cycle"] == 4
+        assert status["active_queries"] == 1
+        facts = client.query_status(query_id)
+        assert facts["active"] is True
+        client.event({"type": "fail", "node": 17})
+        client.step(1)
+        stats = client.stats()
+        assert stats["events_applied"] == 1
+        cancelled = client.cancel(query_id)
+        assert cancelled["query_id"] == query_id
+        with pytest.raises(RuntimeError):
+            client.cancel(query_id)  # already detached
+
+    def test_raw_request_helper(self, live_server):
+        host, port = live_server
+        response = request(host, port, {"op": "ping"})
+        assert response["ok"] is True
+
+    def test_cli_round_trip(self, live_server, capsys):
+        host, port = live_server
+        endpoint = ["--host", host, "--port", str(port)]
+        assert cli_main(["ping", *endpoint]) == 0
+        capsys.readouterr()  # drain the ping output
+        assert cli_main(["submit", *endpoint, "--sql", SQL]) == 0
+        submitted = json.loads(capsys.readouterr().out)
+        assert cli_main(["step", *endpoint, "--cycles", "2"]) == 0
+        capsys.readouterr()  # drain the step output
+        assert cli_main(["stats", *endpoint]) == 0
+        stats = json.loads(capsys.readouterr().out)
+        assert stats["active_queries"] == 1
+        assert cli_main(
+            ["cancel", *endpoint, "--query-id", str(submitted["query_id"])]
+        ) == 0
+        assert cli_main(
+            ["cancel", *endpoint, "--query-id", "99"]
+        ) == 1  # daemon error -> nonzero exit

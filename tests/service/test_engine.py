@@ -1,0 +1,103 @@
+"""ServiceEngine: admission, cancellation, stepping and live events."""
+
+import pytest
+
+from repro.query.parser import QueryParseError
+from repro.service.engine import ServiceConfig, ServiceEngine
+
+SQL = (
+    "SELECT S.id, T.id FROM S, T [windowsize=2 sampleinterval=100] "
+    "WHERE S.id < 10 AND T.id > 30 AND S.adc0 < 500 AND T.adc0 < 500 "
+    "AND S.u = T.u"
+)
+
+
+@pytest.fixture()
+def engine():
+    return ServiceEngine(ServiceConfig(num_nodes=40))
+
+
+class TestAdmission:
+    def test_submit_step_cancel_lifecycle(self, engine):
+        admitted = engine.submit(sql=SQL, name="q-life")
+        assert admitted["query_id"] == 1
+        assert admitted["initiation_traffic"] > 0
+        engine.step(5)
+        assert engine.cycle == 5
+        status = engine.query_status(1)
+        assert status["active"] is True
+        assert status["attached_cycle"] == 0
+        cancelled = engine.cancel(1)
+        assert cancelled["cancelled_at_cycle"] == 5
+        assert engine.query_status(1)["active"] is False
+        assert engine.admitted == 1
+        assert engine.cancelled == 1
+
+    def test_submit_registered_query_name(self, engine):
+        admitted = engine.submit(name="query1", algorithm="innet-cm")
+        assert admitted["name"] == "query1"
+        assert admitted["algorithm"] == "innet-cm"
+
+    def test_submit_requires_sql_or_name(self, engine):
+        with pytest.raises(QueryParseError):
+            engine.submit()
+
+    def test_cancel_unknown_query_raises(self, engine):
+        with pytest.raises(KeyError):
+            engine.cancel(99)
+
+    def test_peak_concurrency_tracks_maximum(self, engine):
+        first = engine.submit(sql=SQL, name="q-a")
+        engine.submit(sql=SQL, name="q-b")
+        engine.cancel(first["query_id"])
+        engine.submit(sql=SQL, name="q-c")
+        assert engine.peak_concurrency == 2
+        assert engine.shared.active_count == 2
+
+    def test_status_and_stats_shape(self, engine):
+        engine.submit(sql=SQL, name="q-s")
+        engine.step(3)
+        status = engine.status()
+        assert status["num_nodes"] == 40
+        assert status["active_queries"] == 1
+        assert len(status["queries"]) == 1
+        stats = engine.stats()
+        for key in (
+            "cycle", "total_traffic", "base_traffic", "max_node_load",
+            "shared_savings_units", "independent_traffic_estimate",
+            "reoptimizations", "reopt_latency_p50", "admitted",
+            "peak_concurrency",
+        ):
+            assert key in stats
+        assert stats["total_traffic"] > 0
+
+
+class TestLiveEvents:
+    def test_fail_event_kills_node(self, engine):
+        engine.submit(sql=SQL, name="q-f")
+        victim = 17
+        result = engine.apply_event(
+            {"type": "fail", "node": victim, "in_cycles": 2}
+        )
+        assert result == {"event": "fail", "node": victim, "at_cycle": 2}
+        engine.step(4)
+        assert not engine.topology.nodes[victim].alive
+        assert engine.events_applied == 1
+
+    def test_move_event_relocates_node(self, engine):
+        result = engine.apply_event({"type": "move", "node": 5, "radius": 0.3})
+        assert result["event"] == "move"
+        assert result["moved"] >= 1
+
+    def test_drift_event_switches_data_source(self, engine):
+        engine.submit(sql=SQL, name="q-d")
+        engine.step(2)
+        result = engine.apply_event({"type": "drift", "sigma_st": 0.05})
+        assert result["switch_cycle"] == 2
+        assert engine.data_source.switched is not None
+        assert engine.data_source.switched.sigma_st == 0.05
+        engine.step(2)  # keeps running on the drifted distribution
+
+    def test_unknown_event_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.apply_event({"type": "reboot"})

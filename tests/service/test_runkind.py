@@ -1,0 +1,99 @@
+"""The frozen ``service`` run kind and the query-churn scenario family."""
+
+import pytest
+
+from repro.engine import SCALES
+from repro.engine.execution import execute_run
+from repro.experiments.figures_service import (
+    CHURN_METRICS,
+    query_churn_scenario,
+    query_churn_smoke_scenario,
+)
+from repro.experiments.scenarios import BUILTIN_SCENARIOS
+
+SMOKE = SCALES["smoke"]
+
+
+def _tiny_scenario():
+    """A fast grid point: 4 concurrent queries on a 48-node field."""
+    return query_churn_scenario(
+        name="churn-test",
+        target_queries=4,
+        cycles=10,
+        churn_interval=4,
+        churn_count=1,
+        num_nodes=48,
+    )
+
+
+@pytest.fixture(scope="module")
+def churn_runs():
+    specs = _tiny_scenario().expand(SMOKE)
+    by_algorithm = {spec.algorithm: spec for spec in specs}
+    return {
+        name: execute_run(spec).report
+        for name, spec in by_algorithm.items()
+    }
+
+
+class TestScenarioFamily:
+    def test_registered_as_builtin(self):
+        assert "query-churn" in BUILTIN_SCENARIOS
+        assert "query-churn-smoke" in BUILTIN_SCENARIOS
+
+    def test_expansion_shape(self):
+        specs = query_churn_smoke_scenario().expand(SMOKE)
+        assert {spec.kind for spec in specs} == {"service"}
+        assert {spec.algorithm for spec in specs} == {"shared", "independent"}
+        for spec in specs:
+            assert spec.cycles == 20
+            assert spec.run_key()  # hashable/frozen
+
+    def test_run_keys_stable_across_expansions(self):
+        first = [s.run_key() for s in _tiny_scenario().expand(SMOKE)]
+        second = [s.run_key() for s in _tiny_scenario().expand(SMOKE)]
+        assert first == second
+
+
+class TestServiceRunKind:
+    def test_shared_beats_independent(self, churn_runs):
+        shared = churn_runs["shared"]
+        independent = churn_runs["independent"]
+        assert shared.total_traffic < independent.total_traffic
+        assert shared.extra["shared_savings_units"] > 0
+        assert shared.extra["independent_traffic_estimate"] == (
+            shared.total_traffic + shared.extra["shared_savings_units"]
+        )
+        assert independent.extra["shared_savings_units"] == 0.0
+
+    def test_churn_actually_happened(self, churn_runs):
+        for report in churn_runs.values():
+            assert report.extra["admitted"] > 4  # arrivals beyond cycle 0
+            assert report.extra["cancelled"] > 0
+            assert report.extra["peak_concurrency"] == 4
+
+    def test_reopt_latency_recorded(self, churn_runs):
+        shared = churn_runs["shared"]
+        assert shared.extra["reoptimizations"] > 0
+        assert shared.extra["reopt_latency_count"] > 0
+        assert shared.extra["reopt_latency_p95"] >= (
+            shared.extra["reopt_latency_p50"]
+        )
+
+    def test_metrics_resolvable_from_reports(self, churn_runs):
+        for report in churn_runs.values():
+            payload = report.as_dict()
+            merged = {**payload, **payload.get("extra", {})}
+            for metric in CHURN_METRICS:
+                if metric.startswith("reopt"):
+                    continue  # independent rows have no reopt plane
+                assert metric in merged, metric
+
+    def test_deterministic_replay(self):
+        spec = next(
+            s for s in _tiny_scenario().expand(SMOKE)
+            if s.algorithm == "shared"
+        )
+        first = execute_run(spec).report.as_dict()
+        second = execute_run(spec).report.as_dict()
+        assert first == second
