@@ -12,9 +12,12 @@ import platform
 import time
 from pathlib import Path
 
+import numpy as np
 import pytest
 
+from repro.joins.multicast import build_multicast_tree
 from repro.metrics import EnergySink, HotspotSink, MetricsPipeline
+from repro.network.batch import CycleBatcher
 from repro.network.links import lossy_links
 from repro.network.message import MessageKind
 from repro.network.simulator import NetworkSimulator
@@ -141,6 +144,86 @@ def test_perf_batch_speedup_guard():
             f"{batched} is only {speedup:.1f}x over {reference}; "
             "the batch kernel regressed"
         )
+
+
+@pytest.fixture(scope="module")
+def innet_rung():
+    """Innet-shaped cycle traffic at the ladder's 10k rung.
+
+    A roster of producers, each with a multicast tree spanning two join
+    nodes plus a SEND_TO_JOIN fan-in path -- the exact traffic shape
+    ``InnetJoin.execute_cycle_batch`` ships through ``ship_edges`` /
+    ``ship_many``, isolated from the probe/window work so the benchmark
+    times the transport layer alone.
+    """
+    from repro.engine.workload import build_topology
+
+    topology = build_topology(None, preset="scale", seed=0, num_nodes=10_000)
+    rng = np.random.default_rng(3)
+    nodes = [node for node in topology.node_ids if node != topology.base_id]
+    trees = []
+    join_paths = []
+    for producer in rng.choice(nodes, size=200, replace=False):
+        joins = rng.choice(nodes, size=2, replace=False)
+        paths = [topology.shortest_path(int(producer), int(join))
+                 for join in joins if int(join) != int(producer)]
+        paths = [path for path in paths if path and len(path) > 1]
+        if not paths:
+            continue
+        trees.append(build_multicast_tree(int(producer), paths))
+        join_paths.append(paths[0])
+    senders = np.concatenate([tree.edge_arrays()[0] for tree in trees])
+    receivers = np.concatenate([tree.edge_arrays()[1] for tree in trees])
+    return topology, trees, join_paths, senders, receivers
+
+
+def test_perf_transfer_innet_reference(benchmark, innet_rung):
+    """The per-tuple reference: one transfer per tree edge and join path."""
+    topology, trees, join_paths, _, _ = innet_rung
+    simulator = NetworkSimulator(topology)
+
+    def run():
+        for _ in range(5):
+            for tree in trees:
+                for parent, child in tree.edges():
+                    simulator.transfer((parent, child), 24, MessageKind.DATA)
+            for path in join_paths:
+                simulator.transfer(path, 24, MessageKind.DATA)
+        return simulator.stats.messages_sent
+
+    assert benchmark(run) > 0
+    _record("transfer_heavy_innet_reference", benchmark)
+
+
+def test_perf_transfer_batch_innet(benchmark, innet_rung):
+    """The batched innet cycle: one ship_edges + one ship_many + flush."""
+    topology, _, join_paths, senders, receivers = innet_rung
+    simulator = NetworkSimulator(topology)
+    batcher = CycleBatcher(simulator)
+
+    def run():
+        for _ in range(5):
+            batcher.ship_edges(senders, receivers, 24, MessageKind.DATA)
+            batcher.ship_many(join_paths, 24, MessageKind.DATA)
+            batcher.flush()
+        return simulator.stats.messages_sent
+
+    assert benchmark(run) > 0
+    _record("transfer_heavy_batch_innet", benchmark)
+
+
+def test_perf_batch_innet_speedup_guard():
+    """The batched innet cycle must stay >= 3x the per-tuple reference."""
+    needed = ("transfer_heavy_innet_reference", "transfer_heavy_batch_innet")
+    if not all(name in _RESULTS for name in needed):
+        pytest.skip("innet transfer benchmarks did not run")
+    reference, batched = needed
+    speedup = _RESULTS[reference]["mean_s"] / _RESULTS[batched]["mean_s"]
+    _RESULTS[batched]["speedup_vs_per_tuple"] = speedup
+    assert speedup >= 3.0, (
+        f"{batched} is only {speedup:.1f}x over {reference}; "
+        "the tree-shaped batch path regressed"
+    )
 
 
 def _best_of(function, repeats=9):

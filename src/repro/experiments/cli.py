@@ -54,6 +54,7 @@ from repro.experiments.report import (
 )
 from repro.experiments.scenarios import (
     available_scenarios,
+    extra_scenario_tables,
     match_scenarios,
     resolve_scenario,
 )
@@ -227,6 +228,8 @@ def _print_sink_tables(sweep) -> None:
         rows = node_series_rows(sweep, series=series, top=5)
         if rows:
             print(format_table(rows, title=label))
+    for title, rows in extra_scenario_tables(sweep):
+        print(format_table(rows, title=title))
 
 
 def build_parser() -> argparse.ArgumentParser:

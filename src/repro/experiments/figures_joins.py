@@ -31,7 +31,7 @@ from repro.engine import (
 from repro.network.message import MessageKind, MessageSizes
 from repro.network.simulator import NetworkSimulator
 from repro.routing.multitree import MultiTreeSubstrate, PairPath
-from repro.workloads.queries import build_query0
+from repro.workloads.queries import build_query0, build_query0_keyed
 from repro.workloads.selectivity import JOIN_SELECTIVITIES, RATIO_LADDER
 
 
@@ -46,6 +46,42 @@ def _build_query0_random(topology, seed: int = 1, window_size: int = 3):
     return build_query0(
         num_nodes=len(topology.node_ids), seed=seed, window_size=window_size
     )
+
+
+@register_query_builder("query0-keyed")
+def _build_query0_keyed(topology, seed: int = 1, window_size: int = 3):
+    """Query 0 with random endpoints plus a routable static join key.
+
+    The ``query0-random`` endpoint draw (same seed, same endpoints) with a
+    ``S.id = T.id + d`` clause the endpoints satisfy, so the hash-keyed
+    strategies (ght/dht) can run the same deployment-relative workload --
+    the full-roster scale ladder and the strategy-crossover sweeps use this.
+    """
+    return build_query0_keyed(
+        num_nodes=len(topology.node_ids), seed=seed, window_size=window_size
+    )
+
+
+@register_query_builder("query0-near")
+def _build_query0_near(topology, seed: int = 1, window_size: int = 3):
+    """Query 0 between a deep node and its deepest neighbor.
+
+    The strategy-crossover workload: both endpoints sit far down the routing
+    tree next to each other, so an in-network join placement pays one hop
+    per cycle while the through-the-base strategies pay the full tree depth.
+    The endpoint draw is deployment-relative (``seed`` rotates among the
+    eight deepest candidates) and the query carries no static join key, so
+    exploration stays a single cheap probe per pair at every rung.
+    """
+    depths = topology.shortest_hops_view(topology.base_id)
+    ranked = sorted(
+        (node for node in topology.node_ids if node != topology.base_id),
+        key=lambda node: (-depths.get(node, -1), node),
+    )
+    far = ranked[seed % 8]
+    neighbors = [n for n in topology.neighbors(far) if n != topology.base_id]
+    mate = max(neighbors, key=lambda n: (depths.get(n, -1), -n))
+    return build_query0(source_id=far, target_id=mate, window_size=window_size)
 
 
 def _preset_num_nodes(preset: str, num_nodes: int) -> int:

@@ -42,10 +42,18 @@ LADDER = (1_000, 10_000, 100_000, 1_000_000)
 #: topology generation + routing-state construction only.
 MAX_RUN_NODES = 100_000
 
+#: Strategies timed per rung (mirrors
+#: ``repro.experiments.scenarios.SCALE_LADDER_ROSTER``; literal for the same
+#: reason as ``LADDER``).  The per-strategy runs use the keyed Query 0
+#: workload so the hash-keyed strategies can participate.
+ROSTER = ("naive", "base", "ght", "dht",
+          "innet", "innet-cm", "innet-cmg", "innet-cmp", "innet-cmpg")
+
 DEFAULT_OUTPUT = Path(__file__).resolve().parents[3] / "BENCH_scale.json"
 
 
-def _measure_rung(num_nodes: int, cycles: int) -> dict:
+def _measure_rung(num_nodes: int, cycles: int,
+                  strategies: List[str]) -> dict:
     """Generation / routing / run timings and peak RSS for one rung.
 
     Runs inside the per-rung subprocess; imports stay local so the parent
@@ -69,16 +77,15 @@ def _measure_rung(num_nodes: int, cycles: int) -> dict:
         cache.landmark_tables()
     routing_s = time.perf_counter() - started
 
-    run_s: Optional[float] = None
-    total_traffic: Optional[float] = None
-    if num_nodes <= MAX_RUN_NODES:
-        sel = selectivities_for_ratio("1/2:1/2", 0.2)
-        spec = RunSpec(
+    sel = selectivities_for_ratio("1/2:1/2", 0.2)
+
+    def _run_spec(query: str, algorithm: str) -> "RunSpec":
+        return RunSpec(
             scenario="scale-bench",
             setting=freeze({"num_nodes": num_nodes}),
-            query="query0-random",
+            query=query,
             query_kwargs=freeze({"seed": 1}),
-            algorithm="base",
+            algorithm=algorithm,
             run_index=0,
             seed=0,
             workload_seed=100,
@@ -93,10 +100,32 @@ def _measure_rung(num_nodes: int, cycles: int) -> dict:
             assumed_sigma_t=sel.sigma_t,
             assumed_sigma_st=sel.sigma_st,
         )
+
+    run_s: Optional[float] = None
+    total_traffic: Optional[float] = None
+    strategy_records: Optional[List[dict]] = None
+    if num_nodes <= MAX_RUN_NODES:
+        # The legacy trajectory run: the base strategy on the unkeyed
+        # Query 0 workload (kept so BENCH_scale.json history stays
+        # comparable across revisions).
         started = time.perf_counter()
-        result = execute_run(spec)
+        result = execute_run(_run_spec("query0-random", "base"))
         run_s = time.perf_counter() - started
         total_traffic = result.report.total_traffic
+
+        # Per-strategy throughput: the full roster on the keyed workload,
+        # one short run each, recorded as sampling cycles per second.
+        strategy_records = []
+        for strategy in strategies:
+            started = time.perf_counter()
+            result = execute_run(_run_spec("query0-keyed", strategy))
+            elapsed = time.perf_counter() - started
+            strategy_records.append({
+                "strategy": strategy,
+                "run_seconds": round(elapsed, 3),
+                "cycles_per_second": round(cycles / elapsed, 2) if elapsed else None,
+                "total_traffic": result.report.total_traffic,
+            })
 
     # Linux reports ru_maxrss in KiB.
     peak_rss_kb = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
@@ -110,13 +139,17 @@ def _measure_rung(num_nodes: int, cycles: int) -> dict:
         "run_cycles": cycles if run_s is not None else None,
         "total_traffic": total_traffic,
         "peak_rss_mb": round(peak_rss_kb / 1024.0, 1),
+        "strategies": strategy_records,
     }
     return record
 
 
 def _rung_total_seconds(record: dict) -> float:
+    strategy_s = sum(
+        entry["run_seconds"] for entry in (record.get("strategies") or ())
+    )
     return (record["generation_seconds"] + record["routing_seconds"]
-            + (record["run_seconds"] or 0.0))
+            + (record["run_seconds"] or 0.0) + strategy_s)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -135,6 +168,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="sampling cycles of the per-rung join run (default: 5)",
     )
     parser.add_argument(
+        "--strategies", default=",".join(ROSTER),
+        help="comma-separated strategies timed per rung (default: the full "
+             "roster); empty string skips the per-strategy runs",
+    )
+    parser.add_argument(
         "--output", type=Path, default=DEFAULT_OUTPUT,
         help="result file; existing rungs for other node counts are kept",
     )
@@ -149,9 +187,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--single", type=int, default=None, help=argparse.SUPPRESS)
     args = parser.parse_args(argv)
 
+    strategies = [s for s in args.strategies.split(",") if s]
     if args.single is not None:
         # Child mode: measure one rung, emit its record as JSON on stdout.
-        json.dump(_measure_rung(args.single, args.cycles), sys.stdout)
+        json.dump(_measure_rung(args.single, args.cycles, strategies),
+                  sys.stdout)
         return 0
 
     rungs = ([int(r) for r in args.rungs.split(",")] if args.rungs
@@ -160,7 +200,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     for rung in rungs:
         proc = subprocess.run(
             [sys.executable, "-m", "repro.experiments.scale_bench",
-             "--single", str(rung), "--cycles", str(args.cycles)],
+             "--single", str(rung), "--cycles", str(args.cycles),
+             "--strategies", args.strategies],
             capture_output=True, text=True,
         )
         if proc.returncode != 0:
@@ -172,9 +213,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         records.append(record)
         run_part = (f" run={record['run_seconds']:.2f}s"
                     if record["run_seconds"] is not None else " run=skipped")
+        per_strategy = record.get("strategies") or ()
+        strategy_part = (
+            f" roster={len(per_strategy)}x"
+            f"{sum(e['run_seconds'] for e in per_strategy):.2f}s"
+            if per_strategy else ""
+        )
         print(f"n={rung}: gen={record['generation_seconds']:.2f}s "
-              f"routing={record['routing_seconds']:.2f}s{run_part} "
-              f"rss={record['peak_rss_mb']:.0f}MB "
+              f"routing={record['routing_seconds']:.2f}s{run_part}"
+              f"{strategy_part} rss={record['peak_rss_mb']:.0f}MB "
               f"deg={record['average_degree']:.1f}")
 
     # Merge with any previously recorded ladder so a partial re-run (the CI

@@ -24,6 +24,11 @@ from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.engine import ScenarioSpec, load_scenario_file
+from repro.experiments.figures_crossover import (
+    crossover_tables,
+    strategy_crossover_scenario,
+    strategy_crossover_smoke_scenario,
+)
 from repro.experiments.figures_adaptive import (
     fig10_scenario,
     fig11_scenario,
@@ -165,26 +170,38 @@ def _lifetime_under_load_scenario() -> ScenarioSpec:
 #: up to the 1M-node rung the sparse substrate exists for.
 SCALE_LADDER_RUNGS: Tuple[int, ...] = (1_000, 10_000, 100_000, 1_000_000)
 
+#: Every join strategy the scale ladder exercises: the through-the-base
+#: references, the hash-keyed pair and the full in-network family.
+SCALE_LADDER_ROSTER: Tuple[str, ...] = (
+    "naive", "base", "ght", "dht",
+    "innet", "innet-cm", "innet-cmg", "innet-cmp", "innet-cmpg",
+)
+
 
 def _scale_ladder_scenario(rungs: Sequence[int] = SCALE_LADDER_RUNGS,
                            name: str = "scale-ladder") -> ScenarioSpec:
-    """Strategy x ratio sweep up the sparse-substrate node ladder.
+    """Full-roster strategy x ratio sweep up the sparse-substrate node ladder.
 
     The ``scale`` preset grows the target degree logarithmically so random
     deployments stay connected at every rung; past the sparse threshold the
-    CSR substrate engages automatically.  Cycles are pinned (not
-    scale-relative) because the ladder measures substrate cost per cycle,
-    not steady-state join behavior; reports auto-bound their per-node series
-    from the 10k rung up (see ``JoinExecutor``).  Wall-clock/RSS per rung is
-    recorded separately by ``repro.experiments.scale_bench``.
+    CSR substrate engages automatically.  The workload is ``query0-keyed``
+    (the ``query0-random`` endpoint draw plus a routable static join key) so
+    the hash-keyed ght/dht strategies can climb the same ladder; the innet
+    variants pay their keyed exploration flood at initiation, which is part
+    of what the ladder measures.  Cycles are pinned (not scale-relative)
+    because the ladder measures substrate cost per cycle, not steady-state
+    join behavior; reports auto-bound their per-node series from the 10k
+    rung up (see ``JoinExecutor``).  Wall-clock/RSS per rung is recorded
+    separately by ``repro.experiments.scale_bench``.
     """
     return ScenarioSpec(
         name=name,
-        description="strategy x ratio sweep from mote scale toward 1M nodes "
-                    "on the sparse topology substrate (Query 0)",
-        query="query0-random",
+        description="full-roster strategy x ratio sweep from mote scale "
+                    "toward 1M nodes on the sparse topology substrate "
+                    "(keyed Query 0)",
+        query="query0-keyed",
         query_kwargs={"seed": 1},
-        algorithms=("naive", "base"),
+        algorithms=SCALE_LADDER_ROSTER,
         topology_preset="scale",
         data={"sigma_st": 0.2},
         grid={"num_nodes": list(rungs),
@@ -228,6 +245,8 @@ BUILTIN_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
     "scale-ladder-smoke": lambda: _scale_ladder_scenario(
         rungs=(1_000, 10_000), name="scale-ladder-smoke",
     ),
+    "strategy-crossover": strategy_crossover_scenario,
+    "strategy-crossover-smoke": strategy_crossover_smoke_scenario,
     "query-churn": query_churn_scenario,
     "query-churn-smoke": query_churn_smoke_scenario,
     "ablation-threshold": _ablation_threshold_scenario,
@@ -240,6 +259,22 @@ BUILTIN_SCENARIOS: Dict[str, Callable[[], ScenarioSpec]] = {
 def register_scenario(name: str, factory: Callable[[], ScenarioSpec]) -> None:
     """Entry-point-style hook: make a scenario available to the CLI by name."""
     BUILTIN_SCENARIOS[name] = factory
+
+
+#: Scenario name -> shaper returning extra ``(title, rows)`` tables the CLI
+#: prints after the sink tables (e.g. the crossover-point table).
+SCENARIO_TABLE_SHAPERS: Dict[str, Callable] = {
+    "strategy-crossover": crossover_tables,
+    "strategy-crossover-smoke": crossover_tables,
+}
+
+
+def extra_scenario_tables(sweep) -> List[Tuple[str, List[dict]]]:
+    """Scenario-specific derived tables for a finished sweep (may be empty)."""
+    shaper = SCENARIO_TABLE_SHAPERS.get(sweep.scenario.name)
+    if shaper is None:
+        return []
+    return shaper(sweep)
 
 
 def scenario_files(directory: Union[str, Path, None] = None) -> List[Path]:

@@ -208,6 +208,58 @@ class GHTJoin(JoinStrategy):
                                             path_hops=hops)
         self._track_storage()
 
+    def execute_cycle_batch(self, ctx: ExecutionContext, cycle: int,
+                            batcher) -> None:
+        """One cycle with the home-node routes shipped in two batched draws.
+
+        Data ships are interleaved with verdict-conditioned result ships in
+        the reference, so on lossy links the cycle streams through the
+        captured-shipping wrapper (scalar draws in ship order, bit-identical
+        by construction).  On perfect links every ship delivers and the
+        cycle vectorizes over the cached producer->home and home->base
+        routes: one ``ship_many`` for all DATA paths, one for all RESULT
+        paths, probing in the reference order in between.
+        """
+        if not batcher.lossless:
+            with ctx.captured_shipping(batcher):
+                self.execute_cycle(ctx, cycle)
+            return
+        source_alias, _ = ctx.query.aliases
+        samples = ctx.sample_producers(cycle, self._eligible)
+        data_size = ctx.data_tuple_size()
+        result_size = ctx.result_tuple_size()
+        data_paths: List[List[int]] = []
+        result_paths: List[List[int]] = []
+        for sample in samples:
+            producer_key = (sample.alias, sample.node_id)
+            for key in self._unique_keys_of.get(producer_key, ()):
+                home = self._home_of[key]
+                path = self._route_to(ctx, sample.node_id, home)
+                if len(path) > 1:
+                    data_paths.append(path)
+                pairs = self._pairs_at_key.get(
+                    (key, sample.alias, sample.node_id), []
+                )
+                produced = 0
+                for pair in pairs:
+                    produced += self._probe_pair(
+                        ctx, pair, sample,
+                        from_source=(sample.alias == source_alias),
+                    )
+                if produced:
+                    result_path = self._result_path.get(home, [home])
+                    if len(result_path) > 1:
+                        result_paths.append(result_path)
+                    hops = len(path) - 1 + len(result_path) - 1
+                    for _ in range(produced):
+                        self.results.record(delivered=True, delay_cycles=0,
+                                            path_hops=hops)
+        if data_paths:
+            batcher.ship_many(data_paths, data_size, MessageKind.DATA)
+        if result_paths:
+            batcher.ship_many(result_paths, result_size, MessageKind.RESULT)
+        self._track_storage()
+
     def handle_failures(self, ctx: ExecutionContext, failed: List[int], cycle: int) -> None:
         if not failed:
             return

@@ -23,6 +23,8 @@ from collections import deque
 from dataclasses import dataclass
 from typing import Any, Deque, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from repro.core.adaptive import AdaptivePolicy, LearningState
 from repro.core.cost_model import Selectivities
 from repro.core.group_opt import GroupOptimizer, build_groups
@@ -344,8 +346,7 @@ class InnetJoin(JoinStrategy):
             shipped_join_nodes: set = set()
             if self.variant.multicast and producer_key in self._multicast:
                 tree = self._multicast[producer_key]
-                for parent, child in tree.edges():
-                    ctx.ship((parent, child), data_size, MessageKind.DATA)
+                self._ship_tree_edges(ctx, tree, data_size)
                 shipped_join_nodes = set(tree.destinations)
             for pair in pairs:
                 if recovering is not None and recovering.get(pair, -1) > cycle:
@@ -369,6 +370,97 @@ class InnetJoin(JoinStrategy):
         self._forward_results(ctx, produced_at)
         if self.variant.learning:
             self._learn(ctx, cycle)
+        self._track_storage()
+
+    def _ship_tree_edges(self, ctx: ExecutionContext, tree: MulticastTree,
+                         data_size: int) -> None:
+        """Push one tuple down a producer's multicast tree, edge by edge.
+
+        With a cycle batcher captured the whole tree ships as one flat edge
+        block (``ship_edges`` preserves the per-edge RNG draw order, so
+        lossy-link verdicts stay bit-identical to the sequential loop).
+        Capturers without an edge-block API (the service mode's shared
+        shipment plane, which dedupes per edge across queries) get the
+        sequential loop through :meth:`ExecutionContext.ship` instead.
+        Edge delivery verdicts are intentionally ignored either way: cached
+        tree state at branching nodes retransmits locally (Appendix E).
+        """
+        batcher = ctx._batcher
+        if batcher is not None and hasattr(batcher, "ship_edges"):
+            senders, receivers = tree.edge_arrays()
+            batcher.ship_edges(senders, receivers, data_size, MessageKind.DATA)
+            return
+        for parent, child in tree.edges():
+            ctx.ship((parent, child), data_size, MessageKind.DATA)
+
+    def execute_cycle_batch(self, ctx: ExecutionContext, cycle: int,
+                            batcher) -> None:
+        """One sampling cycle with tree- and path-shipping batched.
+
+        On lossy links control flow depends on per-ship verdicts, so the
+        cycle streams through the captured-shipping wrapper (scalar draws in
+        ship order -- bit-identical by construction; multicast trees still
+        ship as per-sample edge blocks via :meth:`_ship_tree_edges`).  On
+        perfect links every ship delivers, so the cycle's shipping plan is
+        computed upfront: one edge block for all multicast trees, one
+        ``ship_many`` for the SEND_TO_JOIN fan-in, with probing and result
+        forwarding in the reference order.
+        """
+        if not batcher.lossless or self._recovering:
+            with ctx.captured_shipping(batcher):
+                self.execute_cycle(ctx, cycle)
+            return
+        source_alias, target_alias = ctx.query.aliases
+        samples = ctx.sample_producers(cycle, self._eligible)
+        data_size = ctx.data_tuple_size()
+        produced_at: Dict[int, List[int]] = {}
+        assignments = self.plan.assignments
+        multicast = self._multicast if self.variant.multicast else {}
+        edge_sender_parts: List[Any] = []
+        edge_receiver_parts: List[Any] = []
+        join_paths: List[List[int]] = []
+        probes: List[Tuple[Pair, ProducerSample, int]] = []
+        for sample in samples:
+            producer_key = (sample.alias, sample.node_id)
+            pairs = self._pairs_of.get(producer_key)
+            if not pairs:
+                continue
+            tree = multicast.get(producer_key)
+            if tree is not None:
+                senders, receivers = tree.edge_arrays()
+                if senders.size:
+                    edge_sender_parts.append(senders)
+                    edge_receiver_parts.append(receivers)
+                shipped_join_nodes = set(tree.destinations)
+            else:
+                shipped_join_nodes = set()
+            for pair in pairs:
+                decision = assignments[pair].decision
+                if decision.join_node not in shipped_join_nodes:
+                    join_paths.append(
+                        self._path_to_join(ctx, sample.alias, pair)
+                    )
+                    shipped_join_nodes.add(decision.join_node)
+                probes.append((pair, sample, decision.join_node))
+        if edge_sender_parts:
+            batcher.ship_edges(
+                np.concatenate(edge_sender_parts),
+                np.concatenate(edge_receiver_parts),
+                data_size, MessageKind.DATA,
+            )
+        if join_paths:
+            batcher.ship_many(join_paths, data_size, MessageKind.DATA)
+        for pair, sample, join_node in probes:
+            self._remember_tuple(ctx, pair, sample)
+            delays = self._probe(ctx, pair, sample,
+                                 from_source=(sample.alias == source_alias),
+                                 cycle=cycle)
+            if delays:
+                produced_at.setdefault(join_node, []).extend(delays)
+        with ctx.captured_shipping(batcher):
+            self._forward_results(ctx, produced_at)
+            if self.variant.learning:
+                self._learn(ctx, cycle)
         self._track_storage()
 
     # -- probing with delay tracking -------------------------------------------

@@ -14,6 +14,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
 
+import numpy as np
+
 from repro.network.topology import Topology
 
 
@@ -44,6 +46,31 @@ class MulticastTree:
         if cached is None or len(cached) != len(self.parent):
             cached = [(parent, child) for child, parent in self.parent.items()]
             self.__dict__["_edges_cache"] = cached
+        return cached
+
+    def edge_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The transmission edges as flat ``(senders, receivers)`` arrays.
+
+        The batched edge-expansion view of :meth:`edges` (same order, same
+        cache-refresh guard), pre-flattened once per tree so the batch-cycle
+        kernel can ship a whole tree without per-edge Python calls --
+        mirroring what :class:`~repro.network.batch.PreparedPaths` does for
+        path lists.  Callers must not mutate the returned arrays.
+        """
+        cached = self.__dict__.get("_edge_arrays_cache")
+        if cached is None or cached[0].size != len(self.parent):
+            if self.parent:
+                receivers = np.fromiter(
+                    self.parent.keys(), count=len(self.parent), dtype=np.int64
+                )
+                senders = np.fromiter(
+                    self.parent.values(), count=len(self.parent), dtype=np.int64
+                )
+            else:
+                senders = np.zeros(0, dtype=np.int64)
+                receivers = np.zeros(0, dtype=np.int64)
+            cached = (senders, receivers)
+            self.__dict__["_edge_arrays_cache"] = cached
         return cached
 
     def path_from_root(self, destination: int) -> List[int]:

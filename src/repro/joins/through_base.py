@@ -106,6 +106,78 @@ class ThroughBaseJoin(JoinStrategy):
                                             path_hops=hops)
         self._track_storage()
 
+    def execute_cycle_batch(self, ctx: ExecutionContext, cycle: int,
+                            batcher) -> None:
+        """One cycle with the up/down base routes shipped in batched draws.
+
+        The reference chains verdicts (a lost up-path suppresses every
+        downstream ship), so on lossy links the cycle streams through the
+        captured-shipping wrapper (scalar draws in ship order).  On perfect
+        links every ship delivers and the cycle vectorizes over the cached
+        ``_paths_to_base`` / ``_paths_from_base`` routes: one ``ship_many``
+        per message kind, probing in the reference order.  The batch kernel
+        only engages while every node is alive, so the reference's per-target
+        liveness check is vacuous here.
+        """
+        if not batcher.lossless:
+            with ctx.captured_shipping(batcher):
+                self.execute_cycle(ctx, cycle)
+            return
+        source_alias, target_alias = ctx.query.aliases
+        samples = ctx.sample_producers(cycle, self._eligible)
+        data_size = ctx.data_tuple_size()
+        result_size = ctx.result_tuple_size()
+        data_paths: List[List[int]] = []
+        result_paths: List[List[int]] = []
+
+        for sample in (s for s in samples if s.alias == target_alias):
+            for source, targets in self._targets_of_source.items():
+                if sample.node_id in targets:
+                    pair = (source, sample.node_id)
+                    produced = self._probe_pair(ctx, pair, sample,
+                                                from_source=False)
+                    if produced:
+                        result_path = self._paths_to_base.get(
+                            sample.node_id, [sample.node_id]
+                        )
+                        if len(result_path) > 1:
+                            result_paths.append(result_path)
+                        for _ in range(produced):
+                            self.results.record(
+                                delivered=True, delay_cycles=0,
+                                path_hops=len(result_path) - 1,
+                            )
+
+        for sample in (s for s in samples if s.alias == source_alias):
+            up_path = self._paths_to_base.get(sample.node_id)
+            if up_path is None:
+                continue
+            if len(up_path) > 1:
+                data_paths.append(up_path)
+            for target in self._targets_of_source.get(sample.node_id, []):
+                down_path = self._paths_from_base.get(target)
+                if down_path is None:
+                    continue
+                if len(down_path) > 1:
+                    data_paths.append(down_path)
+                pair = (sample.node_id, target)
+                produced = self._probe_pair(ctx, pair, sample,
+                                            from_source=True)
+                if produced:
+                    result_path = self._paths_to_base.get(target, [target])
+                    if len(result_path) > 1:
+                        result_paths.append(result_path)
+                    hops = ((len(up_path) - 1) + (len(down_path) - 1)
+                            + (len(result_path) - 1))
+                    for _ in range(produced):
+                        self.results.record(delivered=True, delay_cycles=0,
+                                            path_hops=hops)
+        if data_paths:
+            batcher.ship_many(data_paths, data_size, MessageKind.DATA)
+        if result_paths:
+            batcher.ship_many(result_paths, result_size, MessageKind.RESULT)
+        self._track_storage()
+
     def handle_failures(self, ctx: ExecutionContext, failed: List[int], cycle: int) -> None:
         for node_id in failed:
             self.tree.repair_after_failure(node_id, simulator=ctx.simulator)

@@ -161,8 +161,12 @@ class HotspotSink(MetricsSink):
 
     # -- results ------------------------------------------------------------
     def top(self, k: Optional[int] = None) -> List[Tuple[int, float]]:
-        """The *k* most loaded nodes, ordered by decreasing load."""
-        ranked = sorted(self.load.items(), key=lambda item: item[1], reverse=True)
+        """The *k* most loaded nodes, ordered by decreasing load.
+
+        Equal loads rank by ascending node id (the same charge-order-free
+        tie-break as ``TrafficStats.top_loaded_nodes``).
+        """
+        ranked = sorted(self.load.items(), key=lambda item: (-item[1], item[0]))
         return ranked[: (k if k is not None else self.top_k)]
 
     def max_load(self) -> float:

@@ -236,21 +236,70 @@ class PathBatch:
                 row += 1
             return
         for kind, size_bytes, records in self._record_groups:
-            for path, attempts, num_hops, dropped in records:
+            for entry in records:
+                if type(entry) is _EdgeBlock:
+                    yield from entry.iter_records(size_bytes, kind)
+                    continue
+                path, attempts, num_hops, dropped = entry
                 yield path, size_bytes, kind, attempts, num_hops, dropped
+
+
+class _EdgeBlock:
+    """A block of single-hop tree edges shipped in one batched draw.
+
+    Multicast trees ship every (parent, child) edge as its own one-hop path;
+    a block keeps the whole tree's edges as flat arrays instead of one
+    record per edge.  ``attempts`` / ``failed`` are ``None`` on perfect
+    links; on lossy links every edge still charges its single hop (the
+    charged prefix of a one-hop path is always that hop), so no masking is
+    needed -- only the drop count and per-edge verdicts differ.
+    """
+
+    __slots__ = ("senders", "receivers", "attempts", "failed")
+
+    def __init__(self, senders: np.ndarray, receivers: np.ndarray,
+                 attempts: Optional[np.ndarray],
+                 failed: Optional[np.ndarray]) -> None:
+        self.senders = senders
+        self.receivers = receivers
+        self.attempts = attempts
+        self.failed = failed
+
+    def iter_records(self, size_bytes: int, kind: MessageKind) -> Iterator[
+            Tuple[Any, int, MessageKind, Optional[np.ndarray],
+                  Optional[int], bool]]:
+        """Expand into the per-edge reference call sequence (edge order)."""
+        senders = self.senders
+        receivers = self.receivers
+        attempts = self.attempts
+        if attempts is None:
+            for i in range(senders.size):
+                yield ((int(senders[i]), int(receivers[i])), size_bytes, kind,
+                       None, None, False)
+            return
+        failed = self.failed
+        for i in range(senders.size):
+            path = (int(senders[i]), int(receivers[i]))
+            if failed[i]:
+                yield path, size_bytes, kind, attempts[i:i + 1], 1, True
+            else:
+                yield path, size_bytes, kind, attempts[i:i + 1], None, False
 
 
 class _BatchGroup:
     """Accumulated hops for one (kind, size) combination within a cycle."""
 
-    __slots__ = ("senders", "receivers", "attempts", "records", "drops")
+    __slots__ = ("senders", "receivers", "attempts", "records", "drops",
+                 "edge_parts")
 
     def __init__(self) -> None:
         self.senders: List[int] = []
         self.receivers: List[int] = []
         self.attempts: List[int] = []
-        self.records: List[Tuple] = []
+        self.records: List[Any] = []
         self.drops = 0
+        #: _EdgeBlock instances folded into the flat arrays at flush time
+        self.edge_parts: List[_EdgeBlock] = []
 
 
 class CycleBatcher:
@@ -321,23 +370,31 @@ class CycleBatcher:
         n = len(paths)
         if n == 0:
             return np.zeros(0, dtype=bool)
-        group = self._group(kind, size_bytes)
-        senders = group.senders
-        receivers = group.receivers
-        records = group.records
         if self.lossless:
+            group = None
             for path in paths:
                 hops = len(path) - 1
                 if hops <= 0:
                     continue
-                senders.extend(path[:hops])
-                receivers.extend(path[1:])
-                records.append((path, None, None, False))
+                if group is None:
+                    # Created lazily so an all-zero-hop call leaves no empty
+                    # group behind (a shipless cycle must emit no event).
+                    group = self._group(kind, size_bytes)
+                group.senders.extend(path[:hops])
+                group.receivers.extend(path[1:])
+                group.records.append((path, None, None, False))
             return np.ones(n, dtype=bool)
         lens = np.fromiter(
             (len(path) - 1 for path in paths), count=n, dtype=np.int64
         )
         np.maximum(lens, 0, out=lens)
+        if not lens.any():
+            # Zero-hop paths deliver trivially and consume no randomness.
+            return np.ones(n, dtype=bool)
+        group = self._group(kind, size_bytes)
+        senders = group.senders
+        receivers = group.receivers
+        records = group.records
         delivered_hops, attempts = self.links.attempt_hops_batch(lens)
         delivered, charged, starts = _segment_outcomes(lens, delivered_hops)
         att_list = group.attempts
@@ -360,9 +417,50 @@ class CycleBatcher:
         group.drops += drops
         return delivered
 
+    def ship_edges(self, senders: np.ndarray, receivers: np.ndarray,
+                   size_bytes: int,
+                   kind: MessageKind = MessageKind.DATA) -> np.ndarray:
+        """Defer a block of single-hop edges (one multicast tree's traffic).
+
+        *senders* / *receivers* are aligned int arrays, one entry per
+        (parent, child) transmission edge.  Equivalent to calling
+        :meth:`ship` per two-node edge path in array order: on lossy links
+        one ``attempt_hops_batch`` draw over ``n`` one-hop paths consumes the
+        seeded RNG stream exactly like ``n`` sequential per-edge draws, and
+        every edge charges its single hop whether or not it delivers (the
+        charged prefix of a one-hop path is always that hop).  Returns the
+        per-edge delivered flags.
+        """
+        senders = np.asarray(senders, dtype=np.int64)
+        receivers = np.asarray(receivers, dtype=np.int64)
+        n = int(senders.size)
+        if n == 0:
+            return np.zeros(0, dtype=bool)
+        group = self._group(kind, size_bytes)
+        if self.lossless:
+            block = _EdgeBlock(senders, receivers, None, None)
+            group.edge_parts.append(block)
+            group.records.append(block)
+            return np.ones(n, dtype=bool)
+        delivered, attempts = self.links.attempt_hops_batch(
+            np.ones(n, dtype=np.int64)
+        )
+        failed = ~delivered
+        block = _EdgeBlock(senders, receivers, attempts, failed)
+        group.edge_parts.append(block)
+        group.records.append(block)
+        group.drops += int(np.count_nonzero(failed))
+        return delivered
+
     # -- flushing -----------------------------------------------------------
     def flush(self) -> None:
-        """Emit everything accumulated as one ``charge_paths_batch`` event."""
+        """Emit everything accumulated as one ``charge_paths_batch`` event.
+
+        A cycle in which nothing shipped (or in which every shipped path was
+        zero-hop) emits no event at all -- sinks observe exactly the charge
+        activity the per-tuple reference would have produced, including its
+        absence.
+        """
         groups = self._groups
         if not groups:
             return
@@ -376,22 +474,37 @@ class CycleBatcher:
         record_groups: List[Tuple] = []
         drops = 0
         for (kind, size_bytes), group in groups.items():
-            count = len(group.senders)
+            scalar_count = len(group.senders)
+            count = scalar_count + sum(
+                block.senders.size for block in group.edge_parts
+            )
             if count == 0:
                 continue
             code = len(kinds)
             kinds.append(kind)
-            sender_parts.append(np.asarray(group.senders, dtype=np.int64))
-            receiver_parts.append(np.asarray(group.receivers, dtype=np.int64))
+            # Within a group the flat hop order is free (hop charges are
+            # aggregated order-independently); replay order lives in records.
+            if scalar_count:
+                sender_parts.append(np.asarray(group.senders, dtype=np.int64))
+                receiver_parts.append(
+                    np.asarray(group.receivers, dtype=np.int64)
+                )
+                if not self.lossless:
+                    attempt_parts.append(
+                        np.asarray(group.attempts, dtype=np.int64)
+                    )
+            for block in group.edge_parts:
+                sender_parts.append(block.senders)
+                receiver_parts.append(block.receivers)
+                if not self.lossless:
+                    attempt_parts.append(block.attempts)
             size_parts.append(np.full(count, float(size_bytes)))
             code_parts.append(np.full(count, code, dtype=np.int64))
-            if not self.lossless:
-                attempt_parts.append(np.asarray(group.attempts, dtype=np.int64))
             record_groups.append((kind, size_bytes, group.records))
             drops += group.drops
         if not kinds:
             return
-        if len(kinds) == 1:
+        if len(kinds) == 1 and len(sender_parts) == 1:
             batch = PathBatch(
                 senders=sender_parts[0], receivers=receiver_parts[0],
                 sizes=size_parts[0],

@@ -278,12 +278,16 @@ class TrafficStats:
         return max(loads, default=0.0)
 
     def top_loaded_nodes(self, k: int = 15) -> List[Tuple[int, float]]:
-        """The *k* most loaded nodes, ordered by decreasing load (Figure 5)."""
+        """The *k* most loaded nodes, ordered by decreasing load (Figure 5).
+
+        Equal loads rank by ascending node id so the order depends only on
+        the loads themselves, never on charge order (the batch kernel
+        replays a cycle's charges grouped by class, not in ship order).
+        """
         node_ids = set(self.transmitted) | set(self.received)
         ranked = sorted(
             ((node_id, self.at_node(node_id)) for node_id in node_ids),
-            key=lambda item: item[1],
-            reverse=True,
+            key=lambda item: (-item[1], item[0]),
         )
         return ranked[:k]
 

@@ -80,6 +80,42 @@ def build_query0(
     return parse_query(text, name="query0")
 
 
+def build_query0_keyed(
+    source_id: Optional[int] = None,
+    target_id: Optional[int] = None,
+    num_nodes: int = 100,
+    window_size: int = 3,
+    seed: int = 0,
+) -> JoinQuery:
+    """Query 0 with a routable static join key (for the GHT/DHT strategies).
+
+    Same random-endpoint 1:1 join as :func:`build_query0`, plus the static
+    clause ``S.id = T.id + d`` (the Query 1 shape) chosen so the drawn
+    endpoints satisfy it.  Every strategy in the roster -- including the
+    hash-based ones, which refuse queries without a routable static join
+    predicate -- can run this query, which is what the strategy-crossover
+    scale sweeps need.
+    """
+    if source_id is None or target_id is None:
+        rng = np.random.default_rng(seed)
+        picks = rng.choice(np.arange(1, num_nodes), size=2, replace=False)
+        source_id = int(picks[0]) if source_id is None else source_id
+        target_id = int(picks[1]) if target_id is None else target_id
+    if source_id == target_id:
+        raise ValueError("Query 0 needs two distinct endpoints")
+    if source_id < target_id:
+        # The parser wants the literal offset on the right-hand side
+        # non-negative, so order the endpoints to keep the difference >= 1.
+        source_id, target_id = target_id, source_id
+    diff = source_id - target_id
+    text = (
+        f"SELECT S.id, T.id FROM S, T [windowsize={window_size} sampleinterval=100] "
+        f"WHERE S.id = {source_id} AND T.id = {target_id} "
+        f"AND {_SEND_FILTER} AND S.id = T.id + {diff} AND S.u = T.u"
+    )
+    return parse_query(text, name="query0-keyed")
+
+
 def build_query1(window_size: int = 3) -> JoinQuery:
     """Query 1: non-1:1 join with uniformly spread endpoints."""
     text = (
@@ -117,6 +153,7 @@ def query_for_name(name: str, **kwargs) -> JoinQuery:
     """Dispatch helper used by the experiment harness."""
     builders = {
         "query0": build_query0,
+        "query0-keyed": build_query0_keyed,
         "query1": build_query1,
         "query2": build_query2,
         "query3": build_query3,

@@ -75,6 +75,47 @@ class TestBatchParity:
         ))
 
 
+class TestRosterParity:
+    """Every strategy batched by the tree-traffic kernel stays bit-identical
+    to its per-tuple reference -- on perfect links (the vectorized lossless
+    formulations) and on lossy links (the captured-shipping stream)."""
+
+    def test_fig05_innet_family_perfect(self):
+        _compare(BUILTIN_SCENARIOS["fig05"]())
+
+    def test_fig05_innet_family_lossy(self):
+        _compare(BUILTIN_SCENARIOS["fig05"]().with_overrides(link_loss=0.2))
+
+    def test_fig09a_ght_perfect(self):
+        _compare(BUILTIN_SCENARIOS["fig09a"]())
+
+    def test_fig09a_ght_lossy(self):
+        _compare(BUILTIN_SCENARIOS["fig09a"]().with_overrides(link_loss=0.15))
+
+    def test_table3_yang07_perfect(self):
+        _compare(BUILTIN_SCENARIOS["table3"]())
+
+    def test_table3_yang07_lossy(self):
+        _compare(BUILTIN_SCENARIOS["table3"]().with_overrides(link_loss=0.2))
+
+    def test_scale_ladder_roster_rung(self):
+        """The full 9-strategy roster on the keyed ladder workload at the
+        1k rung (larger rungs are covered by the crossover smoke)."""
+        _compare(BUILTIN_SCENARIOS["scale-ladder-smoke"]().with_overrides(
+            grid={"num_nodes": [1_000], "ratio": ["1/2:1/2"]},
+        ))
+
+    def test_strategy_crossover_smoke(self):
+        _compare(BUILTIN_SCENARIOS["strategy-crossover-smoke"]())
+
+    def test_strategy_crossover_smoke_lossy(self):
+        _compare(BUILTIN_SCENARIOS["strategy-crossover-smoke"]()
+                 .with_overrides(link_loss=0.2, grid={
+                     "num_nodes": [1_000], "ratio": ["1/2:1/2"],
+                     "sigma_st": [0.2],
+                 }))
+
+
 class TestBatchKnob:
     def test_default_batched_run_keeps_per_tuple_run_key(self):
         scenario = ScenarioSpec(name="plain", query="query1",

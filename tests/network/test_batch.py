@@ -192,6 +192,124 @@ class TestCycleBatcher:
         assert len(events) == 1
 
 
+class TestShipEdges:
+    """Batched multicast-edge shipping (the innet tree-traffic classes)."""
+
+    @staticmethod
+    def _edges(simulator, count=None):
+        """Tree-shaped traffic: every path decomposed into its 1-hop edges."""
+        edges = []
+        for path in _paths(simulator, count=count):
+            edges.extend(zip(path, path[1:]))
+        senders = np.array([s for s, _ in edges], dtype=np.int64)
+        receivers = np.array([r for _, r in edges], dtype=np.int64)
+        return senders, receivers
+
+    @pytest.mark.parametrize("loss", [0.0, 0.3])
+    def test_matches_per_edge_reference(self, loss):
+        batched = _sim(loss=loss, seed=11)
+        reference = _sim(loss=loss, seed=11)
+        senders, receivers = self._edges(batched)
+        batcher = CycleBatcher(batched)
+        out = batcher.ship_edges(senders, receivers, 14, MessageKind.DATA)
+        batcher.flush()
+        expected = [
+            reference.transfer((int(s), int(r)), 14, MessageKind.DATA)
+            for s, r in zip(senders, receivers)
+        ]
+        assert out.tolist() == expected
+        assert _traffic_view(batched) == _traffic_view(reference)
+
+    def test_lossy_interleaved_with_scalar_ships_keeps_rng_stream(self):
+        """Verdict draws happen at ship time in call order, so mixing edge
+        blocks with scalar path ships must consume the seeded stream exactly
+        like the equivalent per-tuple transfer sequence."""
+        batched = _sim(loss=0.3, seed=17)
+        reference = _sim(loss=0.3, seed=17)
+        paths = _paths(batched, count=6)
+        senders, receivers = self._edges(batched, count=4)
+        batcher = CycleBatcher(batched)
+        verdicts = [batcher.ship(paths[0], 8, MessageKind.DATA)]
+        edge_out = batcher.ship_edges(senders, receivers, 8, MessageKind.DATA)
+        verdicts.append(batcher.ship(paths[5], 8, MessageKind.RESULT))
+        batcher.flush()
+        expected = [reference.transfer(paths[0], 8, MessageKind.DATA)]
+        edge_expected = [
+            reference.transfer((int(s), int(r)), 8, MessageKind.DATA)
+            for s, r in zip(senders, receivers)
+        ]
+        expected.append(reference.transfer(paths[5], 8, MessageKind.RESULT))
+        assert verdicts == expected
+        assert edge_out.tolist() == edge_expected
+        assert _traffic_view(batched) == _traffic_view(reference)
+
+    def test_replay_reproduces_reference_calls_for_edge_blocks(self):
+        """Sinks without a batch handler see per-edge charges in order."""
+        batched_sink = TestUnrollAdapter.Recorder()
+        reference_sink = TestUnrollAdapter.Recorder()
+        batched = _sim(loss=0.35, seed=23, sinks=[batched_sink])
+        reference = _sim(loss=0.35, seed=23, sinks=[reference_sink])
+        senders, receivers = self._edges(batched, count=8)
+        batcher = CycleBatcher(batched)
+        batcher.ship_edges(senders, receivers, 18, MessageKind.DATA)
+        batcher.flush()
+        for s, r in zip(senders, receivers):
+            reference.transfer((int(s), int(r)), 18, MessageKind.DATA)
+        assert batched_sink.calls == reference_sink.calls
+        assert _traffic_view(batched) == _traffic_view(reference)
+
+    def test_empty_edge_call_ships_nothing(self):
+        simulator = _sim(loss=0.4, seed=6)
+        batcher = CycleBatcher(simulator)
+        out = batcher.ship_edges(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            10, MessageKind.DATA,
+        )
+        batcher.flush()
+        assert out.size == 0
+        assert simulator.stats.total() == 0.0
+        # and no randomness was consumed
+        fresh = lossy_links(0.4, seed=6)
+        assert simulator.links.attempt_hop() == fresh.attempt_hop()
+
+
+class TestShiplessCycle:
+    """A cycle that ships nothing must emit no pipeline event at all."""
+
+    class Counter(MetricsSink):
+        name = "counter"
+
+        def __init__(self):
+            self.events = []
+
+        def charge_paths_batch(self, batch):
+            self.events.append(batch)
+
+    @pytest.mark.parametrize("loss", [0.0, 0.3])
+    def test_zero_shipment_flush_emits_no_event(self, loss):
+        """Regression: all-zero-hop ship_many / empty ship_edges calls must
+        not leave an empty group behind -- a shipless cycle flushes to
+        nothing, exactly like the per-tuple reference which never calls the
+        pipeline."""
+        counter = self.Counter()
+        simulator = _sim(loss=loss, seed=8, sinks=[counter])
+        base = simulator.topology.base_id
+        batcher = CycleBatcher(simulator)
+        out = batcher.ship_many([[base], []], 10, MessageKind.DATA)
+        batcher.ship_edges(
+            np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.int64),
+            10, MessageKind.DATA,
+        )
+        batcher.flush()
+        assert out.tolist() == [True, True]
+        assert counter.events == []
+        assert simulator.stats.total() == 0.0
+        if loss:
+            # zero-hop segments consume no randomness either
+            fresh = lossy_links(loss, seed=8)
+            assert simulator.links.attempt_hop() == fresh.attempt_hop()
+
+
 class TestUnrollAdapter:
     """Sinks without a native batch handler observe replayed charges."""
 

@@ -89,6 +89,19 @@ class TestServiceRunKind:
                     continue  # independent rows have no reopt plane
                 assert metric in merged, metric
 
+    def test_multicast_trees_ship_through_the_shared_plane(self):
+        """Regression: the churn-smoke population forms multicast trees,
+        whose edge blocks must fall back to per-edge shipping under the
+        shared shipment plane (a scalar-only capturer without the cycle
+        batcher's ``ship_edges`` API)."""
+        spec = next(
+            s for s in query_churn_smoke_scenario().expand(SMOKE)
+            if s.algorithm == "shared"
+        )
+        report = execute_run(spec).report
+        assert report.total_traffic > 0
+        assert report.extra["shared_savings_units"] > 0
+
     def test_deterministic_replay(self):
         spec = next(
             s for s in _tiny_scenario().expand(SMOKE)

@@ -102,6 +102,43 @@ class TestQueries:
         with pytest.raises(ValueError):
             build_query0(source_id=3, target_id=3)
 
+    def test_query0_keyed_is_routable_and_matches_endpoint_draw(self):
+        from repro.workloads.queries import build_query0_keyed
+
+        keyed = build_query0_keyed(num_nodes=100, seed=7)
+        analysis = analyze_query(keyed)
+        # the static S.id = T.id + d clause makes the query hash-routable
+        assert isinstance(analysis.routing_predicate, EqualityRouting)
+
+        def endpoints(a):
+            return {
+                alias: next(n for n in range(100)
+                            if a.node_eligible(alias, {"id": n}))
+                for alias in ("S", "T")
+            }
+
+        # same endpoint draw as query0-random with the same seed (possibly
+        # swapped: the keyed builder orders source > target)
+        plain = analyze_query(build_query0(num_nodes=100, seed=7))
+        keyed_ids = endpoints(analysis)
+        assert set(keyed_ids.values()) == set(endpoints(plain).values())
+        assert keyed_ids["S"] > keyed_ids["T"]
+        # the chosen endpoints satisfy the static key clause
+        assert analysis.pair_joins_statically(
+            {"id": keyed_ids["S"]}, {"id": keyed_ids["T"]}
+        )
+        # deterministic, and still rejects identical endpoints
+        assert str(keyed.where) == str(build_query0_keyed(
+            num_nodes=100, seed=7).where)
+        with pytest.raises(ValueError):
+            build_query0_keyed(source_id=3, target_id=3)
+
+    def test_query0_keyed_registered_by_name(self):
+        query = query_for_name("query0-keyed", num_nodes=50, seed=3)
+        assert query.name == "query0-keyed"
+        analysis = analyze_query(query)
+        assert isinstance(analysis.routing_predicate, EqualityRouting)
+
     def test_query1_structure(self):
         query = build_query1()
         assert query.window_size == 3
